@@ -1,0 +1,62 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkQuery is one query of the paper's evaluation suite: the SQL, the
+// error-prone predicate designation and the recommended ESS grid.
+type BenchmarkQuery = workload.Spec
+
+// BenchmarkQueries returns the TPC-DS evaluation suite (the paper's
+// Fig. 8-13 workload): eleven queries spanning 3-6 error-prone predicates.
+func BenchmarkQueries() []BenchmarkQuery { return workload.TPCDSQueries() }
+
+// BenchmarkQueryByName resolves a suite query, a Q91 dimensional variant
+// ("2D_Q91".."6D_Q91") or "JOB_1a".
+func BenchmarkQueryByName(name string) (BenchmarkQuery, bool) { return workload.ByName(name) }
+
+// Q91Benchmark returns the Q91 analogue with d error-prone predicates
+// (2..6), the paper's Fig. 9 dimensionality study.
+func Q91Benchmark(d int) BenchmarkQuery { return workload.Q91(d) }
+
+// JOB1aBenchmark returns the Join Order Benchmark Q1a analogue (Sec 6.5).
+func JOB1aBenchmark() BenchmarkQuery { return workload.JOB1a() }
+
+// EQBenchmark returns the paper's motivating example query EQ (Fig. 1)
+// over the TPC-H schema.
+func EQBenchmark() BenchmarkQuery { return workload.EQ() }
+
+// BenchmarkOptions returns Options that defer the grid shape to each
+// benchmark query's recommended resolution (see NewBenchmarkSession).
+func BenchmarkOptions() Options {
+	o := DefaultOptions()
+	o.GridRes, o.GridLo = 0, 0
+	return o
+}
+
+// NewBenchmarkSession builds a Session for a benchmark query, choosing the
+// matching catalog automatically. A zero opts.GridRes uses the query's
+// recommended resolution.
+func NewBenchmarkSession(bq BenchmarkQuery, opts Options) (*Session, error) {
+	var cat *Catalog
+	switch bq.Catalog {
+	case "imdb":
+		cat = IMDBCatalog()
+	case "tpch":
+		cat = TPCHCatalog(1)
+	case "tpcds", "":
+		cat = TPCDSCatalog(100)
+	default:
+		return nil, fmt.Errorf("repro: unknown benchmark catalog %q", bq.Catalog)
+	}
+	if opts.GridRes == 0 {
+		opts.GridRes = bq.GridRes
+	}
+	if opts.GridLo == 0 {
+		opts.GridLo = bq.GridLo
+	}
+	return NewSession(cat, bq.SQL, bq.EPPs, opts)
+}

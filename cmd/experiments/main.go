@@ -1,0 +1,231 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (Sec 6) over the simulated substrate and prints them as text
+// tables. Absolute values differ from the paper's PostgreSQL testbed; the
+// shapes — who wins, by what rough factor, where the crossovers are — are
+// the reproduction target (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -fig 10         # one figure
+//	experiments -table 3        # one table
+//	experiments -extra job      # JOB / platform extras
+//	experiments -fast           # shrunken grids for a quick pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "regenerate one figure (7-13); 0 = all")
+		table   = flag.Int("table", 0, "regenerate one table (2-4); 0 = all")
+		extra   = flag.String("extra", "", "extra experiment: platform | job | ratio | delta | correlated")
+		fast    = flag.Bool("fast", false, "use shrunken grids and sweep budgets")
+		asJSON  = flag.Bool("json", false, "emit every experiment's structured results as JSON")
+		summary = flag.Bool("summary", false, "print the four-way native/PB/SB/AB synthesis table")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *fast {
+		cfg.MaxLocations = 64
+		cfg.ResOverride = map[string]int{}
+		for _, sp := range workload.TPCDSQueries() {
+			cfg.ResOverride[sp.Name] = fastRes(sp.D)
+		}
+		for d := 2; d <= 6; d++ {
+			sp := workload.Q91(d)
+			cfg.ResOverride[sp.Name] = fastRes(d)
+		}
+		cfg.ResOverride["JOB_1a"] = 12
+	}
+	lab := experiments.NewLab(cfg)
+
+	if *asJSON {
+		rep, err := lab.BuildReport()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *summary {
+		rows, err := lab.Summary()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(experiments.RenderSummary(rows))
+		return
+	}
+	runAll := *fig == 0 && *table == 0 && *extra == ""
+	if err := run(lab, runAll, *fig, *table, *extra); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// runExtras executes the supplementary studies (Fig 7 rendering, the
+// contour-ratio ablation and the δ-robustness sweep).
+func runExtras(lab *experiments.Lab, all bool, extra string) error {
+	if all || extra == "ratio" {
+		rows, err := lab.RatioAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderRatio(rows))
+	}
+	if all || extra == "delta" {
+		rows, err := lab.DeltaRobustness()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderDelta(rows))
+	}
+	if all || extra == "correlated" {
+		rows, err := lab.CorrelatedWorkload()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCorrelated(rows))
+	}
+	if all || extra == "estimation" {
+		rows, err := lab.EstimationStudy()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEstimation(rows))
+	}
+	if all || extra == "reopt" {
+		rows, err := lab.ReoptComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderReopt(rows))
+	}
+	if all || extra == "lambda" {
+		rows, err := lab.LambdaSensitivity()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderLambda(rows))
+	}
+	return nil
+}
+
+func fastRes(d int) int {
+	switch d {
+	case 2:
+		return 12
+	case 3:
+		return 8
+	case 4:
+		return 6
+	case 5:
+		return 5
+	default:
+		return 4
+	}
+}
+
+func run(lab *experiments.Lab, all bool, fig, table int, extra string) error {
+	want := func(f int) bool { return all || fig == f }
+	wantT := func(t int) bool { return all || table == t }
+
+	if want(7) {
+		out, err := lab.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	if want(8) {
+		rows, err := lab.Fig8()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderGuarantees("Figure 8 — MSO guarantees (MSOg), PB vs SB", rows))
+	}
+	if want(9) {
+		rows, err := lab.Fig9()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderGuarantees("Figure 9 — MSOg vs dimensionality (Q91, D=2..6)", rows))
+	}
+	if want(10) {
+		rows, err := lab.Fig10()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEmpirical("Figure 10 — empirical MSO (MSOe), PB vs SB", "PB", "SB", rows))
+	}
+	if want(11) {
+		rows, err := lab.Fig11()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEmpirical("Figure 11 — average sub-optimality (ASO), PB vs SB", "PB", "SB", rows))
+	}
+	if want(12) {
+		res, err := lab.Fig12()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderHistogram(res))
+	}
+	if want(13) {
+		rows, err := lab.Fig13()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderEmpirical("Figure 13 — empirical MSO (MSOe), SB vs AB", "SB", "AB", rows))
+	}
+	if wantT(2) {
+		rows, err := lab.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable2(rows))
+	}
+	if wantT(3) {
+		res, err := lab.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable3(res))
+	}
+	if wantT(4) {
+		rows, err := lab.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTable4(rows))
+	}
+	if all || extra == "platform" {
+		rows, err := lab.PlatformShift()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderPlatform(rows))
+	}
+	if all || extra == "job" {
+		res, err := lab.JOB()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderJOB(res))
+	}
+	return runExtras(lab, all, extra)
+}

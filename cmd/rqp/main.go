@@ -1,0 +1,305 @@
+// Command rqp runs a single benchmark query under one of the robust query
+// processing algorithms and prints the discovery trace (the Manhattan
+// profile of paper Fig. 7 in textual form), the MSO guarantee, and the
+// realized sub-optimality.
+//
+// Usage:
+//
+//	rqp -query 4D_Q91 -algo spillbound -truth 0.8,0.008,0.05,0.6
+//	rqp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/aligned"
+	"repro/internal/bouquet"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/ess"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/rowexec"
+	"repro/internal/spillbound"
+	"repro/internal/viz"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		queryName = flag.String("query", "2D_Q91", "benchmark query name (see -list)")
+		algoName  = flag.String("algo", "spillbound", "algorithm: native | planbouquet | spillbound | alignedbound")
+		truthStr  = flag.String("truth", "", "comma-separated true selectivities (default: midpoint of each dimension)")
+		res       = flag.Int("res", 0, "grid resolution override (0 = query default)")
+		profile   = flag.String("profile", "postgres", "cost profile: postgres | commercial")
+		list      = flag.Bool("list", false, "list available queries and exit")
+		sf        = flag.Float64("sf", 100, "TPC-DS scale factor")
+		plot      = flag.Bool("plot", false, "render the 2D contour map with the discovery trace (2D queries, spillbound only)")
+		explain   = flag.Bool("explain", false, "print the optimal plan at q_a with per-operator rows/costs and its pipeline decomposition")
+		physical  = flag.Int64("physical", -1, "execute on the row engine with this per-relation row cap (0 = catalog cardinality); truth is then emergent from the data")
+		sqlText   = flag.String("sql", "", "process a custom SQL query instead of a benchmark one (requires -catalog unless the TPC-DS schema suffices)")
+		catPath   = flag.String("catalog", "", "JSON catalog file for -sql (default: TPC-DS at -sf)")
+		eppsFlag  = flag.String("epps", "", "semicolon-separated error-prone join predicates for -sql (default: auto-identified, up to -d of them)")
+		dFlag     = flag.Int("d", 2, "number of epps to auto-identify when -epps is empty")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workload.Names() {
+			fmt.Println(name)
+		}
+		for d := 2; d <= 6; d++ {
+			fmt.Println(workload.Q91(d).Name)
+		}
+		fmt.Println("JOB_1a")
+		return
+	}
+
+	if *sqlText != "" {
+		if err := runCustom(*sqlText, *catPath, *eppsFlag, *dFlag, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical); err != nil {
+			fmt.Fprintln(os.Stderr, "rqp:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*queryName, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical); err != nil {
+		fmt.Fprintln(os.Stderr, "rqp:", err)
+		os.Exit(1)
+	}
+}
+
+// runCustom processes a user-supplied SQL query: load (or default) the
+// catalog, resolve or auto-identify the epps, synthesize a workload spec
+// and reuse the benchmark path.
+func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64) error {
+	var cat *repro.Catalog
+	if catPath != "" {
+		f, err := os.Open(catPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cat, err = catalog.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		cat = repro.TPCDSCatalog(sf)
+	}
+	var epps []string
+	if eppsFlag != "" {
+		for _, p := range strings.Split(eppsFlag, ";") {
+			if p = strings.TrimSpace(p); p != "" {
+				epps = append(epps, p)
+			}
+		}
+	} else {
+		var err error
+		epps, err = repro.IdentifyEPPs(cat, sqlText, d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("auto-identified epps: %v\n", epps)
+	}
+	if res == 0 {
+		res = 12
+	}
+	sp := workload.Spec{
+		Name: "custom", D: len(epps), SQL: sqlText, EPPs: epps,
+		GridRes: res, GridLo: 1e-6,
+	}
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical)
+}
+
+func run(queryName, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64) error {
+	sp, ok := workload.ByName(queryName)
+	if !ok {
+		return fmt.Errorf("unknown query %q (use -list)", queryName)
+	}
+	var cat *repro.Catalog
+	switch sp.Catalog {
+	case "imdb":
+		cat = repro.IMDBCatalog()
+	case "tpch":
+		cat = repro.TPCHCatalog(sf / 100)
+	default:
+		cat = repro.TPCDSCatalog(sf)
+	}
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical)
+}
+
+// runSpec drives one spec over one catalog.
+func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, res int, profile string, plot, explain bool, physical int64) error {
+	var params cost.Params
+	switch profile {
+	case "postgres":
+		params = cost.PostgresLike()
+	case "commercial":
+		params = cost.CommercialLike()
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	algo, err := repro.ParseAlgorithm(algoName)
+	if err != nil {
+		return err
+	}
+	q, err := sp.Build(cat)
+	if err != nil {
+		return err
+	}
+	m, err := cost.NewModel(q, params)
+	if err != nil {
+		return err
+	}
+	o, err := optimizer.New(m)
+	if err != nil {
+		return err
+	}
+	if res == 0 {
+		res = sp.GridRes
+	}
+	fmt.Printf("building ESS for %s (D=%d, %d^%d grid, profile %s)...\n",
+		sp.Name, sp.D, res, sp.D, params.Name)
+	s := ess.Build(o, ess.NewGrid(q.D(), res, sp.GridLo))
+	costs := s.ContourCosts(ess.CostDoublingRatio)
+	fmt.Printf("POSP: %d plans | contours: %d | C_min=%.4g C_max=%.4g\n\n",
+		len(s.Plans()), len(costs), s.MinCost(), s.MaxCost())
+
+	if physical >= 0 {
+		return runPhysical(q, m, s, algo, physical)
+	}
+	truth, err := parseTruth(truthStr, q.D(), sp.GridLo)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("true location q_a = %v\n", truth)
+	optPlan, optCost := o.Optimize(truth)
+	e := engine.New(m, truth)
+	if explain {
+		fmt.Println("\noptimal plan at q_a:")
+		fmt.Print(engine.ExplainAt(m, optPlan, truth))
+		fmt.Println("pipelines (execution order):")
+		fmt.Print(engine.ExplainPipelines(m, optPlan))
+		fmt.Println()
+	}
+
+	var total float64
+	var trace string
+	switch algo {
+	case repro.Native:
+		p, _ := o.Optimize(m.EstimateLocation())
+		total = m.Eval(p, truth)
+		trace = fmt.Sprintf("plan chosen at estimate %v\n", m.EstimateLocation())
+	case repro.PlanBouquet:
+		d := bouquet.Reduce(s, 0.2)
+		fmt.Printf("PlanBouquet guarantee: 4(1+λ)ρ = %.1f\n\n", d.Guarantee(costs))
+		out := bouquet.Run(d, e, ess.CostDoublingRatio)
+		total = out.TotalCost
+		for _, st := range out.Steps {
+			trace += st.String() + "\n"
+		}
+	case repro.SpillBound:
+		fmt.Printf("SpillBound guarantee: D²+3D = %.0f\n\n", spillbound.Guarantee(q.D()))
+		out := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(e)
+		total = out.TotalCost
+		trace = out.Trace()
+		if plot {
+			if mapped, err := viz.Fig7(s, ess.CostDoublingRatio, out, truth); err == nil {
+				fmt.Println(mapped)
+			} else {
+				fmt.Fprintln(os.Stderr, "rqp: plot:", err)
+			}
+		}
+	case repro.AlignedBound:
+		fmt.Printf("AlignedBound guarantee range: [%.0f, %.0f]\n\n",
+			aligned.GuaranteeLower(q.D()), aligned.GuaranteeUpper(q.D()))
+		out := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(e)
+		total = out.TotalCost
+		trace = out.Trace()
+		if plot {
+			if mapped, err := viz.Fig7(s, ess.CostDoublingRatio, out.SpillOutcome(), truth); err == nil {
+				fmt.Println(mapped)
+			} else {
+				fmt.Fprintln(os.Stderr, "rqp: plot:", err)
+			}
+		}
+	}
+	fmt.Print(trace)
+	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
+		total, optCost, total/optCost)
+	return nil
+}
+
+// runPhysical drives the chosen algorithm against the row engine.
+func runPhysical(q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorithm, rowCap int64) error {
+	re := &rowexec.Engine{Query: q, Params: m.Params, RowCap: rowCap}
+	ad := &rowexec.Adapter{E: re}
+	var total float64
+	var trace string
+	switch algo {
+	case repro.PlanBouquet:
+		out := bouquet.Run(bouquet.Reduce(s, 0.2), ad, ess.CostDoublingRatio)
+		total = out.TotalCost
+		for _, st := range out.Steps {
+			trace += st.String() + "\n"
+		}
+	case repro.SpillBound:
+		out := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(ad)
+		total = out.TotalCost
+		trace = out.Trace()
+	case repro.AlignedBound:
+		out := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(ad)
+		total = out.TotalCost
+		trace = out.Trace()
+	default:
+		return fmt.Errorf("-physical supports planbouquet, spillbound, alignedbound")
+	}
+	best := -1.0
+	for _, p := range s.Plans() {
+		if r, err := re.Run(p, 0); err == nil && r.Completed {
+			if best < 0 || r.Spent < best {
+				best = r.Spent
+			}
+		}
+	}
+	fmt.Println("physical execution over synthetic rows:")
+	fmt.Print(trace)
+	if best > 0 {
+		fmt.Printf("\ntotal work: %.4g | best physical plan: %.4g | sub-optimality: %.2f\n", total, best, total/best)
+	}
+	return nil
+}
+
+func parseTruth(s string, d int, lo float64) (cost.Location, error) {
+	if s == "" {
+		// Default: geometric midpoint of each dimension.
+		mid := make(cost.Location, d)
+		for i := range mid {
+			mid[i] = math.Sqrt(lo)
+		}
+		return mid, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("-truth needs %d values, got %d", d, len(parts))
+	}
+	out := make(cost.Location, d)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad selectivity %q: %v", p, err)
+		}
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("selectivity %g outside (0,1]", v)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,32 @@
+// Command rqpd serves the robust query processing library over HTTP: build
+// sessions (offline ESS construction) once, then answer per-instance run
+// and sweep requests with guarantees and traces.
+//
+//	rqpd -addr :8080
+//	curl -s localhost:8080/queries
+//	curl -s -XPOST localhost:8080/sessions -d '{"query":"2D_EQ"}'
+//	curl -s -XPOST localhost:8080/sessions/s1/run \
+//	     -d '{"algorithm":"spillbound","truth":[0.04,0.1]}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: server.New().Handler(),
+	}
+	log.Printf("rqpd listening on %s", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Physical execution demonstration: the same SpillBound discovery loop that
+// normally drives the cost-model simulator here drives a row-at-a-time
+// Volcano executor over synthetic data — budgets are enforced and
+// selectivities learnt by counting actual tuples, the closest analogue of
+// the paper's modified PostgreSQL engine (Sec 6.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	// A compact custom schema so row-at-a-time execution finishes in
+	// milliseconds.
+	cat := repro.NewCatalog("shop")
+	for _, t := range []*repro.Table{
+		{
+			Name: "products", Rows: 500, RowBytes: 120,
+			Columns: []repro.Column{
+				{Name: "id", Distinct: 500, Min: 1, Max: 500},
+				{Name: "price", Distinct: 200, Min: 0, Max: 2000},
+			},
+		},
+		{
+			Name: "sales", Rows: 6000, RowBytes: 90,
+			Columns: []repro.Column{
+				{Name: "product_id", Distinct: 500, Min: 1, Max: 500},
+				{Name: "customer_id", Distinct: 1500, Min: 1, Max: 1500},
+			},
+		},
+		{
+			Name: "customers", Rows: 1500, RowBytes: 110,
+			Columns: []repro.Column{
+				{Name: "id", Distinct: 1500, Min: 1, Max: 1500},
+			},
+		},
+	} {
+		if err := cat.AddTable(t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	sql := `
+		SELECT * FROM products p, sales s, customers c
+		WHERE p.id = s.product_id AND s.customer_id = c.id
+		AND p.price < 1200`
+	epps := []string{"p.id = s.product_id", "s.customer_id = c.id"}
+
+	opts := repro.DefaultOptions()
+	opts.GridRes = 12
+	opts.GridLo = 1e-4
+	sess, err := repro.NewSession(cat, sql, epps, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ESS ready: %d POSP plans, %d contours; SpillBound bound D²+3D = %.0f\n\n",
+		sess.POSPSize(), sess.ContourCount(), sess.Guarantee(repro.SpillBound))
+
+	for _, algo := range []repro.Algorithm{repro.PlanBouquet, repro.SpillBound, repro.AlignedBound} {
+		res, err := sess.RunPhysical(algo, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s: %2d executions on real rows, work %8.0f units, sub-optimality %.2f\n",
+			algo, len(res.Steps), res.TotalCost, res.SubOpt)
+	}
+
+	fmt.Println("\nSpillBound physical trace (budgets enforced by the tuple-level work meter):")
+	res, err := sess.RunPhysical(repro.SpillBound, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Trace)
+	fmt.Println("\nselectivities were learnt by counting join output rows — no estimation anywhere.")
+}

@@ -1,0 +1,78 @@
+// Service demonstration: the library behind an HTTP API (cmd/rqpd's
+// handler), exercised in-process — the "automated assistant" deployment
+// the paper's conclusions sketch. A client creates a session (paying the
+// offline ESS construction once), inspects its guarantees, runs instances
+// and sweeps robustness metrics.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ts := httptest.NewServer(server.New().Handler())
+	defer ts.Close()
+	fmt.Println("rqpd-style service running at", ts.URL)
+
+	// Create a session for the paper's example query.
+	created := post(ts.URL+"/sessions", map[string]any{"query": "2D_EQ", "gridRes": 12})
+	fmt.Printf("\nsession %v: D=%v, POSP %v plans, %v contours\n",
+		created["id"], created["d"], created["pospSize"], created["contours"])
+	fmt.Printf("guarantees: PB %.1f | SB %.0f | AB [%.0f, %.0f]\n",
+		created["pbGuarantee"], created["sbGuarantee"],
+		created["abGuaranteeLow"], created["abGuaranteeHigh"])
+
+	id := created["id"].(string)
+
+	// Process one instance.
+	run := post(ts.URL+"/sessions/"+id+"/run", map[string]any{
+		"algorithm": "spillbound",
+		"truth":     []float64{0.001, 0.0004},
+	})
+	fmt.Printf("\nspillbound run: %v steps, sub-optimality %.2f (guarantee %v)\n",
+		run["steps"], run["subOpt"], run["guarantee"])
+
+	// Whole-ESS robustness.
+	var sweep map[string]any
+	get(ts.URL+"/sessions/"+id+"/sweep?algorithm=alignedbound&max=64", &sweep)
+	fmt.Printf("alignedbound sweep: MSO %.2f, ASO %.2f over %v locations\n",
+		sweep["mso"], sweep["aso"], sweep["locations"])
+}
+
+func post(url string, payload any) map[string]any {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if e, bad := out["error"]; bad {
+		log.Fatalf("server error: %v", e)
+	}
+	return out
+}
+
+func get(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package aligned
+
+import (
+	"math"
+
+	"repro/internal/ess"
+)
+
+// AlignmentStats summarizes how cheaply contour alignment (Sec 3.3) can be
+// enforced across a query's contours — the data behind paper Table 2.
+type AlignmentStats struct {
+	// Contours is the number of contours analyzed.
+	Contours int
+	// MinPenalty[i] is contour i's cheapest alignment penalty: 1 when the
+	// contour is natively aligned along some dimension, the minimum plan
+	// replacement cost ratio otherwise, +Inf if unalignable.
+	MinPenalty []float64
+}
+
+// NativePct returns the percentage of contours aligned without any
+// replacement (the "Original" column of Table 2).
+func (a AlignmentStats) NativePct() float64 { return a.WithinPct(1) }
+
+// WithinPct returns the percentage of contours that are aligned when
+// replacement plans may incur penalty at most lambda.
+func (a AlignmentStats) WithinPct(lambda float64) float64 {
+	if a.Contours == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range a.MinPenalty {
+		if p <= lambda+1e-9 {
+			n++
+		}
+	}
+	return 100 * float64(n) / float64(a.Contours)
+}
+
+// MaxPenalty returns the penalty needed for every contour to satisfy
+// alignment (the "Max λ" column of Table 2).
+func (a AlignmentStats) MaxPenalty() float64 {
+	max := 0.0
+	for _, p := range a.MinPenalty {
+		if p > max {
+			max = p
+		}
+	}
+	return max
+}
+
+// AnalyzeAlignment computes per-contour alignment penalties for the space's
+// doubling contours: for each contour, the cheapest way — over all
+// dimensions j — to have an extreme location along j hold a plan that
+// spills on j, natively or by minimum-penalty replacement (Sec 5.1).
+func AnalyzeAlignment(s *ess.Space, ratio float64) AlignmentStats {
+	g := s.Grid
+	epps := s.Query.EPPs
+	costs := s.ContourCosts(ratio)
+	full := s.Full()
+	stats := AlignmentStats{Contours: len(costs)}
+
+	// Plan pools by spill dimension (nothing learnt yet).
+	pools := map[int][]int{}
+	for id, p := range s.Plans() {
+		if tgt, ok := p.SpillTarget(epps, nil); ok {
+			if d, isEPP := s.Query.IsEPP(tgt.JoinID); isEPP {
+				pools[d] = append(pools[d], id)
+			}
+		}
+	}
+
+	for _, cc := range costs {
+		cells := full.ContourCells(cc)
+		best := math.Inf(1)
+		for dim := 0; dim < g.D; dim++ {
+			// Extreme locations along dim: max dim-coordinate on contour.
+			extCoord := -1
+			for _, ci := range cells {
+				if c := g.Coord(ci, dim); c > extCoord {
+					extCoord = c
+				}
+			}
+			if extCoord < 0 {
+				continue
+			}
+			native := false
+			for _, ci := range cells {
+				if g.Coord(ci, dim) != extCoord {
+					continue
+				}
+				if tgt, ok := s.PlanAt(ci).SpillTarget(epps, nil); ok {
+					if d, isEPP := s.Query.IsEPP(tgt.JoinID); isEPP && d == dim {
+						native = true
+						break
+					}
+				}
+			}
+			if native {
+				best = 1
+				break
+			}
+			// Induced alignment along dim: cheapest replacement at any
+			// extreme location by a dim-spilling plan.
+			for _, ci := range cells {
+				if g.Coord(ci, dim) != extCoord {
+					continue
+				}
+				loc := g.Location(ci)
+				opt := s.CostAt(ci)
+				for _, id := range pools[dim] {
+					if pen := s.Model.Eval(s.Plans()[id], loc) / opt; pen < best {
+						best = pen
+					}
+				}
+			}
+		}
+		stats.MinPenalty = append(stats.MinPenalty, best)
+	}
+	return stats
+}

@@ -1,0 +1,65 @@
+package aligned
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/optimizer"
+)
+
+// TestConstrainedSearchKeepsBound runs AlignedBound with the
+// spill-constrained optimizer feature enabled (Sec 6.1) and verifies that
+// the D²+3D upper bound and completion still hold exhaustively over the
+// grid, and that the feature never *increases* partition penalties (it only
+// widens the replacement candidate pool).
+func TestConstrainedSearchKeepsBound(t *testing.T) {
+	s := build2D(t, 10)
+	o := optimizer.MustNew(s.Model)
+	plain := NewRunner(s)
+	enhanced := &Runner{Space: s, Ratio: plain.Ratio, Opt: o, BeamK: 6}
+
+	g := s.Grid
+	bound := GuaranteeUpper(2)
+	worstPlain, worstEnh := 0.0, 0.0
+	maxPenPlain, maxPenEnh := 0.0, 0.0
+	for ci := 0; ci < g.Size(); ci++ {
+		truth := g.Location(ci)
+		op := plain.Run(engine.New(s.Model, truth))
+		oe := enhanced.Run(engine.New(s.Model, truth))
+		if !oe.Completed {
+			t.Fatalf("truth %v: enhanced run did not complete", truth)
+		}
+		if so := oe.TotalCost / s.CostAt(ci); so > bound {
+			t.Fatalf("truth %v: enhanced SubOpt %.2f exceeds bound\n%s", truth, so, oe.Trace())
+		} else if so > worstEnh {
+			worstEnh = so
+		}
+		if so := op.TotalCost / s.CostAt(ci); so > worstPlain {
+			worstPlain = so
+		}
+		if op.MaxPartitionPenalty > maxPenPlain {
+			maxPenPlain = op.MaxPartitionPenalty
+		}
+		if oe.MaxPartitionPenalty > maxPenEnh {
+			maxPenEnh = oe.MaxPartitionPenalty
+		}
+	}
+	t.Logf("MSOe plain %.2f vs constrained %.2f; max penalty %.2f vs %.2f",
+		worstPlain, worstEnh, maxPenPlain, maxPenEnh)
+	if maxPenEnh > maxPenPlain+1e-9 {
+		t.Errorf("constrained search increased the max penalty: %.3f > %.3f", maxPenEnh, maxPenPlain)
+	}
+}
+
+func TestConstrainedSearchDeterminism(t *testing.T) {
+	s := build3D(t, 5)
+	o := optimizer.MustNew(s.Model)
+	r := &Runner{Space: s, Ratio: 2, Opt: o}
+	truth := cost.Location{1e-3, 1e-2, 1e-4}
+	a := r.Run(engine.New(s.Model, truth))
+	b := r.Run(engine.New(s.Model, truth))
+	if a.Trace() != b.Trace() || a.TotalCost != b.TotalCost {
+		t.Error("constrained AlignedBound is not deterministic")
+	}
+}

@@ -1,0 +1,110 @@
+package bouquet
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/ess"
+)
+
+// Step records one budgeted plan execution of the bouquet protocol.
+type Step struct {
+	// Contour is the contour index the plan was drawn from.
+	Contour int
+	// PlanID is the executed plan's POSP index.
+	PlanID int
+	// Budget is the cost limit assigned.
+	Budget float64
+	// Spent is the cost charged (full plan cost when completed, the budget
+	// otherwise).
+	Spent float64
+	// Completed reports whether the plan finished within its budget.
+	Completed bool
+}
+
+// Outcome is the result of a bouquet-style discovery run.
+type Outcome struct {
+	// Steps lists every budgeted execution in order.
+	Steps []Step
+	// TotalCost is the summed Spent of all steps.
+	TotalCost float64
+	// Completed reports whether some execution produced the full result.
+	Completed bool
+	// FinalPlanID is the plan that completed the query.
+	FinalPlanID int
+}
+
+// Run executes the PlanBouquet protocol (paper Sec 1.1): starting at the
+// cheapest contour, sequentially run each contour plan under the contour's
+// budget (inflated by the diagram's reduction threshold), jumping to the
+// next contour when all fail. The engine carries the hidden true location.
+func Run(d *Diagram, e engine.Executor, ratio float64) Outcome {
+	costs := d.Space.ContourCosts(ratio)
+	return RunSubspace(d.Space, d, e, costs, 0, d.Space.Full(), 1+d.Lambda)
+}
+
+// RunSubspace is the budgeted execution loop over an arbitrary subspace and
+// starting contour, used directly by Run and as the terminal 1-D phase of
+// SpillBound and AlignedBound (paper Sec 4.1: "we simply invoke the
+// standard PlanBouquet with only the [remaining] epp, starting from the
+// contour currently being explored"). Budgets are cc*inflate.
+func RunSubspace(s *ess.Space, a Assignment, e engine.Executor, costs []float64, start int, sub ess.Subspace, inflate float64) Outcome {
+	var out Outcome
+	for i := start; i < len(costs); i++ {
+		cells := sub.ContourCellsCached(costs[i])
+		for _, id := range distinctPlans(a, cells) {
+			budget := costs[i] * inflate
+			res := e.Execute(s.Plans()[id], budget)
+			out.Steps = append(out.Steps, Step{
+				Contour: i, PlanID: id, Budget: budget,
+				Spent: res.Spent, Completed: res.Completed,
+			})
+			out.TotalCost += res.Spent
+			if res.Completed {
+				out.Completed = true
+				out.FinalPlanID = id
+				return out
+			}
+		}
+	}
+	// Unreachable under PCM: the final contour consists solely of the
+	// subspace terminus, whose plan's cost at any dominated true location
+	// is within the final budget. Guard against numeric edge cases by
+	// running that plan unbudgeted.
+	ci := sub.MaxCorner()
+	p := s.Plans()[a.PlanIDAt(ci)]
+	res := e.Execute(p, math.Inf(1))
+	out.Steps = append(out.Steps, Step{
+		Contour: len(costs) - 1, PlanID: a.PlanIDAt(ci), Budget: res.Spent, Spent: res.Spent, Completed: true,
+	})
+	out.TotalCost += res.Spent
+	out.Completed = true
+	out.FinalPlanID = a.PlanIDAt(ci)
+	return out
+}
+
+// distinctPlans returns the distinct plan IDs assigned to the cells, in
+// first-appearance order over ascending cell index (a deterministic
+// sequential order for the contour's plans).
+func distinctPlans(a Assignment, cells []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, ci := range cells {
+		id := a.PlanIDAt(ci)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// String renders a step compactly, e.g. "IC3: P7|2048 ✗".
+func (st Step) String() string {
+	mark := "✗"
+	if st.Completed {
+		mark = "✓"
+	}
+	return fmt.Sprintf("IC%d: P%d|%.4g %s", st.Contour+1, st.PlanID, st.Budget, mark)
+}

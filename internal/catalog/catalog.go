@@ -1,0 +1,169 @@
+// Package catalog provides the database metadata substrate used by the
+// robust-query-processing stack: tables, columns, row counts and simple
+// statistics. The optimizer and cost model consume only this metadata;
+// no actual data is stored. Two synthetic catalogs ship with the package:
+// a TPC-DS-shaped catalog at a configurable scale factor and an
+// IMDB-shaped catalog for the Join Order Benchmark analogue.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a table, carrying the statistics the
+// cost model needs for cardinality estimation of non-error-prone predicates.
+type Column struct {
+	// Name is the column name, unique within its table.
+	Name string
+	// Distinct is the number of distinct values (NDV). It drives
+	// equality- and join-selectivity estimates.
+	Distinct int64
+	// Min and Max bound the value domain for range-selectivity estimates.
+	Min, Max float64
+	// NullFrac is the fraction of NULL entries in [0,1].
+	NullFrac float64
+	// Skew shapes the synthetic data generator's value distribution:
+	// 0 = uniform over the NDV values; larger values concentrate mass on
+	// the low end of the domain (power-law-style heavy hitters). Catalog
+	// statistics (NDV, Min, Max) do not capture skew — which is exactly
+	// why estimators derived from them err on skewed data (the paper's
+	// premise).
+	Skew float64
+}
+
+// Table describes one base relation.
+type Table struct {
+	// Name is the table name, unique within its catalog.
+	Name string
+	// Rows is the table cardinality.
+	Rows int64
+	// RowBytes is the average row width in bytes; together with Rows it
+	// determines the page count used by the I/O cost component.
+	RowBytes int
+	// Columns lists the table's attributes in declaration order.
+	Columns []Column
+
+	byName map[string]int
+}
+
+// Column returns the named column and true, or a zero Column and false if
+// the table has no such column.
+func (t *Table) Column(name string) (Column, bool) {
+	i, ok := t.byName[strings.ToLower(name)]
+	if !ok {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// HasColumn reports whether the table declares the named column.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[strings.ToLower(name)]
+	return ok
+}
+
+// Pages returns the number of disk pages the table occupies under the
+// given page size. It is at least 1 for a non-empty table.
+func (t *Table) Pages(pageBytes int) int64 {
+	if t.Rows == 0 {
+		return 0
+	}
+	rowsPerPage := int64(pageBytes / t.RowBytes)
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	p := t.Rows / rowsPerPage
+	if t.Rows%rowsPerPage != 0 {
+		p++
+	}
+	return p
+}
+
+// Catalog is a set of tables addressable by name. The zero value is an
+// empty catalog ready to use.
+type Catalog struct {
+	// Name identifies the catalog (e.g. "tpcds-sf100").
+	Name string
+
+	tables map[string]*Table
+	order  []string
+}
+
+// New returns an empty catalog with the given name.
+func New(name string) *Catalog {
+	return &Catalog{Name: name, tables: make(map[string]*Table)}
+}
+
+// AddTable registers a table. It returns an error if a table with the same
+// name already exists, if the table has no rows metadata, or if a column
+// name is duplicated.
+func (c *Catalog) AddTable(t *Table) error {
+	if c.tables == nil {
+		c.tables = make(map[string]*Table)
+	}
+	key := strings.ToLower(t.Name)
+	if key == "" {
+		return fmt.Errorf("catalog: table with empty name")
+	}
+	if _, dup := c.tables[key]; dup {
+		return fmt.Errorf("catalog: duplicate table %q", t.Name)
+	}
+	if t.Rows < 0 {
+		return fmt.Errorf("catalog: table %q has negative row count %d", t.Name, t.Rows)
+	}
+	if t.RowBytes <= 0 {
+		return fmt.Errorf("catalog: table %q has non-positive row width %d", t.Name, t.RowBytes)
+	}
+	t.byName = make(map[string]int, len(t.Columns))
+	for i, col := range t.Columns {
+		ck := strings.ToLower(col.Name)
+		if _, dup := t.byName[ck]; dup {
+			return fmt.Errorf("catalog: table %q duplicates column %q", t.Name, col.Name)
+		}
+		if col.Distinct <= 0 {
+			return fmt.Errorf("catalog: column %s.%s has non-positive NDV %d", t.Name, col.Name, col.Distinct)
+		}
+		t.byName[ck] = i
+	}
+	c.tables[key] = t
+	c.order = append(c.order, key)
+	return nil
+}
+
+// MustAddTable is AddTable that panics on error; it is intended for the
+// package's own built-in catalog constructors, where an error is a bug.
+func (c *Catalog) MustAddTable(t *Table) {
+	if err := c.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table returns the named table and true, or nil and false if absent.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, c.tables[k])
+	}
+	return out
+}
+
+// TableNames returns the sorted list of table names.
+func (c *Catalog) TableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of tables in the catalog.
+func (c *Catalog) Len() int { return len(c.tables) }

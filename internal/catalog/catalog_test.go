@@ -1,0 +1,288 @@
+package catalog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndLookupTable(t *testing.T) {
+	c := New("test")
+	err := c.AddTable(&Table{
+		Name: "orders", Rows: 100, RowBytes: 50,
+		Columns: []Column{{Name: "o_id", Distinct: 100}},
+	})
+	if err != nil {
+		t.Fatalf("AddTable: %v", err)
+	}
+	tab, ok := c.Table("orders")
+	if !ok {
+		t.Fatal("Table(orders) not found")
+	}
+	if tab.Rows != 100 {
+		t.Errorf("Rows = %d, want 100", tab.Rows)
+	}
+	if _, ok := c.Table("ORDERS"); !ok {
+		t.Error("table lookup should be case-insensitive")
+	}
+	if _, ok := c.Table("nope"); ok {
+		t.Error("Table(nope) should be absent")
+	}
+}
+
+func TestAddTableErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *Table
+		want string
+	}{
+		{"empty name", &Table{Name: "", Rows: 1, RowBytes: 10}, "empty name"},
+		{"negative rows", &Table{Name: "t", Rows: -1, RowBytes: 10}, "negative row count"},
+		{"zero width", &Table{Name: "t", Rows: 1, RowBytes: 0}, "non-positive row width"},
+		{
+			"dup column",
+			&Table{Name: "t", Rows: 1, RowBytes: 10, Columns: []Column{
+				{Name: "a", Distinct: 1}, {Name: "A", Distinct: 1},
+			}},
+			"duplicates column",
+		},
+		{
+			"bad ndv",
+			&Table{Name: "t", Rows: 1, RowBytes: 10, Columns: []Column{{Name: "a", Distinct: 0}}},
+			"non-positive NDV",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New("test")
+			err := c.AddTable(tc.tab)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("AddTable err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateTable(t *testing.T) {
+	c := New("test")
+	tab := func() *Table { return &Table{Name: "t", Rows: 1, RowBytes: 10} }
+	if err := c.AddTable(tab()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tab()); err == nil {
+		t.Error("duplicate AddTable should fail")
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tab := &Table{Name: "t", Rows: 10, RowBytes: 8, Columns: []Column{
+		{Name: "a", Distinct: 5, Min: 0, Max: 9},
+		{Name: "b", Distinct: 2},
+	}}
+	c := New("test")
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	col, ok := tab.Column("A")
+	if !ok || col.Distinct != 5 {
+		t.Errorf("Column(A) = %+v, %v; want Distinct=5, true", col, ok)
+	}
+	if tab.HasColumn("c") {
+		t.Error("HasColumn(c) should be false")
+	}
+}
+
+func TestPages(t *testing.T) {
+	tab := &Table{Name: "t", Rows: 1000, RowBytes: 100}
+	if got := tab.Pages(8192); got != 13 { // 81 rows/page -> ceil(1000/81)=13
+		t.Errorf("Pages = %d, want 13", got)
+	}
+	empty := &Table{Name: "e", Rows: 0, RowBytes: 100}
+	if got := empty.Pages(8192); got != 0 {
+		t.Errorf("empty Pages = %d, want 0", got)
+	}
+	wide := &Table{Name: "w", Rows: 3, RowBytes: 1 << 20}
+	if got := wide.Pages(8192); got != 3 { // rows wider than a page: one page per row
+		t.Errorf("wide Pages = %d, want 3", got)
+	}
+}
+
+func TestPagesMonotoneInRows(t *testing.T) {
+	f := func(rows uint16, extra uint8) bool {
+		a := &Table{Name: "a", Rows: int64(rows), RowBytes: 100}
+		b := &Table{Name: "b", Rows: int64(rows) + int64(extra), RowBytes: 100}
+		return b.Pages(8192) >= a.Pages(8192)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTPCDSCatalog(t *testing.T) {
+	c := TPCDS(100)
+	wantTables := []string{
+		"store_sales", "catalog_sales", "web_sales", "store_returns",
+		"catalog_returns", "inventory", "date_dim", "time_dim", "customer",
+		"customer_address", "customer_demographics", "household_demographics",
+		"item", "store", "promotion", "warehouse", "call_center", "web_page",
+		"ship_mode", "reason",
+	}
+	for _, name := range wantTables {
+		tab, ok := c.Table(name)
+		if !ok {
+			t.Errorf("TPCDS missing table %q", name)
+			continue
+		}
+		if tab.Rows <= 0 {
+			t.Errorf("table %q has %d rows", name, tab.Rows)
+		}
+		for _, col := range tab.Columns {
+			if col.Distinct <= 0 {
+				t.Errorf("%s.%s NDV = %d", name, col.Name, col.Distinct)
+			}
+		}
+	}
+	if c.Len() != len(wantTables) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(wantTables))
+	}
+
+	ss, _ := c.Table("store_sales")
+	if ss.Rows != 288040400 {
+		t.Errorf("store_sales rows at SF100 = %d, want 288040400", ss.Rows)
+	}
+	cust, _ := c.Table("customer")
+	if cust.Rows != 2000000 {
+		t.Errorf("customer rows at SF100 = %d, want 2000000", cust.Rows)
+	}
+}
+
+func TestTPCDSScaling(t *testing.T) {
+	small := TPCDS(1)
+	big := TPCDS(100)
+	for _, name := range []string{"store_sales", "catalog_sales", "customer"} {
+		s, _ := small.Table(name)
+		b, _ := big.Table(name)
+		if s.Rows >= b.Rows {
+			t.Errorf("%s: SF1 rows %d not < SF100 rows %d", name, s.Rows, b.Rows)
+		}
+	}
+	// Fixed-size dimensions do not scale.
+	sd, _ := small.Table("date_dim")
+	bd, _ := big.Table("date_dim")
+	if sd.Rows != bd.Rows {
+		t.Errorf("date_dim should not scale: %d vs %d", sd.Rows, bd.Rows)
+	}
+}
+
+func TestIMDBCatalog(t *testing.T) {
+	c := IMDB()
+	for _, name := range []string{"title", "movie_companies", "movie_info_idx", "company_type", "info_type"} {
+		tab, ok := c.Table(name)
+		if !ok {
+			t.Fatalf("IMDB missing table %q", name)
+		}
+		if tab.Rows <= 0 {
+			t.Errorf("%s rows = %d", name, tab.Rows)
+		}
+	}
+	title, _ := c.Table("title")
+	if !title.HasColumn("production_year") {
+		t.Error("title missing production_year")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	c := TPCDS(1)
+	names := c.TableNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("TableNames not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	if len(names) != c.Len() {
+		t.Errorf("TableNames len %d != Len %d", len(names), c.Len())
+	}
+}
+
+func TestTablesOrder(t *testing.T) {
+	c := New("test")
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := c.AddTable(&Table{Name: n, Rows: 1, RowBytes: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Tables()
+	want := []string{"zeta", "alpha", "mid"}
+	for i, tab := range got {
+		if tab.Name != want[i] {
+			t.Errorf("Tables()[%d] = %q, want %q (registration order)", i, tab.Name, want[i])
+		}
+	}
+}
+
+func TestTPCHCatalog(t *testing.T) {
+	c := TPCH(1)
+	for _, name := range []string{"part", "supplier", "partsupp", "customer", "orders", "lineitem", "nation", "region"} {
+		tab, ok := c.Table(name)
+		if !ok {
+			t.Fatalf("TPCH missing %q", name)
+		}
+		if tab.Rows <= 0 {
+			t.Errorf("%s rows = %d", name, tab.Rows)
+		}
+	}
+	li, _ := c.Table("lineitem")
+	if li.Rows != 6000000 {
+		t.Errorf("lineitem rows at SF1 = %d, want 6000000", li.Rows)
+	}
+	// Scaling.
+	big := TPCH(10)
+	bli, _ := big.Table("lineitem")
+	if bli.Rows != 60000000 {
+		t.Errorf("lineitem rows at SF10 = %d", bli.Rows)
+	}
+	nat, _ := big.Table("nation")
+	if nat.Rows != 25 {
+		t.Errorf("nation should not scale: %d", nat.Rows)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := TPCH(1)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() || loaded.Name != orig.Name {
+		t.Fatalf("len/name mismatch: %d/%q", loaded.Len(), loaded.Name)
+	}
+	for _, ot := range orig.Tables() {
+		lt, ok := loaded.Table(ot.Name)
+		if !ok {
+			t.Fatalf("missing %q after round trip", ot.Name)
+		}
+		if lt.Rows != ot.Rows || lt.RowBytes != ot.RowBytes || len(lt.Columns) != len(ot.Columns) {
+			t.Errorf("%s mismatch after round trip", ot.Name)
+		}
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"name":"x","tables":[{"name":"t","rows":-1,"rowBytes":8}]}`,                                   // bad rows
+		`{"name":"x","tables":[{"name":"t","rows":1,"rowBytes":8,"columns":[{"name":"c"}]}]}`,           // NDV 0
+		`{"name":"x","tables":[{"name":"t","rows":1,"rowBytes":8}],"bogus":1}`,                          // unknown field
+		`{"name":"x","tables":[{"name":"t","rows":1,"rowBytes":8},{"name":"t","rows":1,"rowBytes":8}]}`, // dup
+	}
+	for _, in := range cases {
+		if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadJSON(%q) should fail", in)
+		}
+	}
+}

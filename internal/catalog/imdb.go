@@ -1,0 +1,50 @@
+package catalog
+
+// IMDB returns an IMDB-shaped catalog matching the Join Order Benchmark's
+// schema subset used by the JOB Q1a analogue. Row counts follow the
+// published IMDB snapshot sizes the benchmark was defined on. The JOB data
+// is heavily skewed, which is what defeats native optimizers; the skew is
+// reflected here through low NDVs on the filtered columns.
+func IMDB() *Catalog {
+	c := New("imdb")
+	c.MustAddTable(&Table{
+		Name: "title", Rows: 2528312, RowBytes: 94,
+		Columns: []Column{
+			{Name: "id", Distinct: 2528312, Min: 1, Max: 2528312},
+			{Name: "kind_id", Distinct: 7, Min: 1, Max: 7},
+			{Name: "production_year", Distinct: 133, Min: 1880, Max: 2019},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "movie_companies", Rows: 2609129, RowBytes: 60,
+		Columns: []Column{
+			{Name: "id", Distinct: 2609129, Min: 1, Max: 2609129},
+			{Name: "movie_id", Distinct: 1087236, Min: 1, Max: 2528312},
+			{Name: "company_id", Distinct: 234997, Min: 1, Max: 234997},
+			{Name: "company_type_id", Distinct: 2, Min: 1, Max: 2},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "movie_info_idx", Rows: 1380035, RowBytes: 40,
+		Columns: []Column{
+			{Name: "id", Distinct: 1380035, Min: 1, Max: 1380035},
+			{Name: "movie_id", Distinct: 459925, Min: 1, Max: 2528312},
+			{Name: "info_type_id", Distinct: 5, Min: 99, Max: 113},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "company_type", Rows: 4, RowBytes: 24,
+		Columns: []Column{
+			{Name: "id", Distinct: 4, Min: 1, Max: 4},
+			{Name: "kind", Distinct: 4, Min: 1, Max: 4},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "info_type", Rows: 113, RowBytes: 24,
+		Columns: []Column{
+			{Name: "id", Distinct: 113, Min: 1, Max: 113},
+			{Name: "info", Distinct: 113, Min: 1, Max: 113},
+		},
+	})
+	return c
+}

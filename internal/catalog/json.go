@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON (de)serialization of catalogs, so users can process their own
+// schemas without writing Go: a catalog file is
+//
+//	{
+//	  "name": "webshop",
+//	  "tables": [
+//	    {"name": "events", "rows": 40000000, "rowBytes": 96,
+//	     "columns": [{"name": "user_id", "distinct": 1500000,
+//	                  "min": 1, "max": 1500000}]},
+//	    ...
+//	  ]
+//	}
+
+// catalogJSON is the file representation.
+type catalogJSON struct {
+	Name   string      `json:"name"`
+	Tables []tableJSON `json:"tables"`
+}
+
+type tableJSON struct {
+	Name     string       `json:"name"`
+	Rows     int64        `json:"rows"`
+	RowBytes int          `json:"rowBytes"`
+	Columns  []columnJSON `json:"columns"`
+}
+
+type columnJSON struct {
+	Name     string  `json:"name"`
+	Distinct int64   `json:"distinct"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	NullFrac float64 `json:"nullFrac,omitempty"`
+	Skew     float64 `json:"skew,omitempty"`
+}
+
+// ReadJSON parses a catalog from JSON, validating it through AddTable.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var cj catalogJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cj); err != nil {
+		return nil, fmt.Errorf("catalog: json: %w", err)
+	}
+	c := New(cj.Name)
+	for _, tj := range cj.Tables {
+		t := &Table{Name: tj.Name, Rows: tj.Rows, RowBytes: tj.RowBytes}
+		for _, col := range tj.Columns {
+			t.Columns = append(t.Columns, Column{
+				Name: col.Name, Distinct: col.Distinct,
+				Min: col.Min, Max: col.Max,
+				NullFrac: col.NullFrac, Skew: col.Skew,
+			})
+		}
+		if err := c.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// WriteJSON serializes the catalog.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	cj := catalogJSON{Name: c.Name}
+	for _, t := range c.Tables() {
+		tj := tableJSON{Name: t.Name, Rows: t.Rows, RowBytes: t.RowBytes}
+		for _, col := range t.Columns {
+			tj.Columns = append(tj.Columns, columnJSON{
+				Name: col.Name, Distinct: col.Distinct,
+				Min: col.Min, Max: col.Max,
+				NullFrac: col.NullFrac, Skew: col.Skew,
+			})
+		}
+		cj.Tables = append(cj.Tables, tj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&cj)
+}

@@ -1,0 +1,245 @@
+package catalog
+
+// TPC-DS synthetic catalog. Row counts follow the published TPC-DS scaling
+// tables; column NDVs are realistic approximations sufficient to drive
+// join-selectivity estimates. Only the tables and columns referenced by the
+// workload queries are modeled.
+
+// scaled multiplies a base-per-SF row count by the scale factor.
+func scaled(perSF int64, sf float64) int64 {
+	v := int64(float64(perSF) * sf)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// TPCDS returns a TPC-DS-shaped catalog at the given scale factor
+// (sf = 100 corresponds to the paper's 100 GB configuration). Fact tables
+// scale linearly; dimension tables use the benchmark's sub-linear steps,
+// approximated here by fixed SF-100 sizes scaled proportionally for other
+// factors.
+func TPCDS(sf float64) *Catalog {
+	c := New("tpcds")
+	rel := sf / 100.0 // dimension sizes are anchored at SF-100
+	dim := func(rowsAt100 int64) int64 {
+		v := int64(float64(rowsAt100) * rel)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	// Fact tables (rows per SF from the TPC-DS specification).
+	c.MustAddTable(&Table{
+		Name: "store_sales", Rows: scaled(2880404, sf), RowBytes: 164,
+		Columns: []Column{
+			{Name: "ss_sold_date_sk", Distinct: 1823, Min: 2450816, Max: 2452642},
+			{Name: "ss_sold_time_sk", Distinct: 46200, Min: 0, Max: 86399},
+			{Name: "ss_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "ss_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "ss_cdemo_sk", Distinct: 1920800, Min: 1, Max: 1920800},
+			{Name: "ss_hdemo_sk", Distinct: 7200, Min: 1, Max: 7200},
+			{Name: "ss_addr_sk", Distinct: dim(1000000), Min: 1, Max: float64(dim(1000000))},
+			{Name: "ss_store_sk", Distinct: dim(402), Min: 1, Max: float64(dim(402))},
+			{Name: "ss_promo_sk", Distinct: dim(1000), Min: 1, Max: float64(dim(1000))},
+			{Name: "ss_ticket_number", Distinct: scaled(240000, sf), Min: 1, Max: float64(scaled(240000, sf))},
+			{Name: "ss_quantity", Distinct: 100, Min: 1, Max: 100},
+			{Name: "ss_sales_price", Distinct: 19900, Min: 0, Max: 200},
+			{Name: "ss_net_profit", Distinct: 30000, Min: -10000, Max: 20000},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "catalog_sales", Rows: scaled(1441548, sf), RowBytes: 226,
+		Columns: []Column{
+			{Name: "cs_sold_date_sk", Distinct: 1823, Min: 2450816, Max: 2452642},
+			{Name: "cs_ship_date_sk", Distinct: 1823, Min: 2450816, Max: 2452642},
+			{Name: "cs_bill_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "cs_bill_cdemo_sk", Distinct: 1920800, Min: 1, Max: 1920800},
+			{Name: "cs_bill_hdemo_sk", Distinct: 7200, Min: 1, Max: 7200},
+			{Name: "cs_ship_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "cs_ship_addr_sk", Distinct: dim(1000000), Min: 1, Max: float64(dim(1000000))},
+			{Name: "cs_call_center_sk", Distinct: dim(42), Min: 1, Max: float64(dim(42))},
+			{Name: "cs_catalog_page_sk", Distinct: dim(20400), Min: 1, Max: float64(dim(20400))},
+			{Name: "cs_ship_mode_sk", Distinct: 20, Min: 1, Max: 20},
+			{Name: "cs_warehouse_sk", Distinct: dim(15), Min: 1, Max: float64(dim(15))},
+			{Name: "cs_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "cs_promo_sk", Distinct: dim(1000), Min: 1, Max: float64(dim(1000))},
+			{Name: "cs_order_number", Distinct: scaled(160000, sf), Min: 1, Max: float64(scaled(160000, sf))},
+			{Name: "cs_quantity", Distinct: 100, Min: 1, Max: 100},
+			{Name: "cs_sales_price", Distinct: 29900, Min: 0, Max: 300},
+			{Name: "cs_net_profit", Distinct: 30000, Min: -10000, Max: 20000},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "web_sales", Rows: scaled(719384, sf), RowBytes: 226,
+		Columns: []Column{
+			{Name: "ws_sold_date_sk", Distinct: 1823, Min: 2450816, Max: 2452642},
+			{Name: "ws_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "ws_bill_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "ws_web_page_sk", Distinct: dim(2040), Min: 1, Max: float64(dim(2040))},
+			{Name: "ws_web_site_sk", Distinct: dim(24), Min: 1, Max: float64(dim(24))},
+			{Name: "ws_ship_addr_sk", Distinct: dim(1000000), Min: 1, Max: float64(dim(1000000))},
+			{Name: "ws_promo_sk", Distinct: dim(1000), Min: 1, Max: float64(dim(1000))},
+			{Name: "ws_order_number", Distinct: scaled(60000, sf), Min: 1, Max: float64(scaled(60000, sf))},
+			{Name: "ws_quantity", Distinct: 100, Min: 1, Max: 100},
+			{Name: "ws_sales_price", Distinct: 29900, Min: 0, Max: 300},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "store_returns", Rows: scaled(287514, sf), RowBytes: 134,
+		Columns: []Column{
+			{Name: "sr_returned_date_sk", Distinct: 2003, Min: 2450820, Max: 2452822},
+			{Name: "sr_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "sr_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "sr_cdemo_sk", Distinct: 1920800, Min: 1, Max: 1920800},
+			{Name: "sr_hdemo_sk", Distinct: 7200, Min: 1, Max: 7200},
+			{Name: "sr_store_sk", Distinct: dim(402), Min: 1, Max: float64(dim(402))},
+			{Name: "sr_reason_sk", Distinct: dim(55), Min: 1, Max: float64(dim(55))},
+			{Name: "sr_ticket_number", Distinct: scaled(240000, sf), Min: 1, Max: float64(scaled(240000, sf))},
+			{Name: "sr_return_quantity", Distinct: 100, Min: 1, Max: 100},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "catalog_returns", Rows: scaled(144067, sf), RowBytes: 166,
+		Columns: []Column{
+			{Name: "cr_returned_date_sk", Distinct: 2003, Min: 2450820, Max: 2452822},
+			{Name: "cr_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "cr_returning_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "cr_call_center_sk", Distinct: dim(42), Min: 1, Max: float64(dim(42))},
+			{Name: "cr_order_number", Distinct: scaled(160000, sf), Min: 1, Max: float64(scaled(160000, sf))},
+			{Name: "cr_return_quantity", Distinct: 100, Min: 1, Max: 100},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "inventory", Rows: scaled(117250, sf) * 100, RowBytes: 16,
+		Columns: []Column{
+			{Name: "inv_date_sk", Distinct: 261, Min: 2450815, Max: 2452635},
+			{Name: "inv_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "inv_warehouse_sk", Distinct: dim(15), Min: 1, Max: float64(dim(15))},
+			{Name: "inv_quantity_on_hand", Distinct: 1000, Min: 0, Max: 1000},
+		},
+	})
+
+	// Dimension tables (SF-100 sizes).
+	c.MustAddTable(&Table{
+		Name: "date_dim", Rows: 73049, RowBytes: 141,
+		Columns: []Column{
+			{Name: "d_date_sk", Distinct: 73049, Min: 2415022, Max: 2488070},
+			{Name: "d_year", Distinct: 200, Min: 1900, Max: 2100},
+			{Name: "d_moy", Distinct: 12, Min: 1, Max: 12},
+			{Name: "d_dom", Distinct: 31, Min: 1, Max: 31},
+			{Name: "d_qoy", Distinct: 4, Min: 1, Max: 4},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "time_dim", Rows: 86400, RowBytes: 59,
+		Columns: []Column{
+			{Name: "t_time_sk", Distinct: 86400, Min: 0, Max: 86399},
+			{Name: "t_hour", Distinct: 24, Min: 0, Max: 23},
+			{Name: "t_minute", Distinct: 60, Min: 0, Max: 59},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer", Rows: dim(2000000), RowBytes: 132,
+		Columns: []Column{
+			{Name: "c_customer_sk", Distinct: dim(2000000), Min: 1, Max: float64(dim(2000000))},
+			{Name: "c_current_cdemo_sk", Distinct: 1221032, Min: 1, Max: 1920800},
+			{Name: "c_current_hdemo_sk", Distinct: 7200, Min: 1, Max: 7200},
+			{Name: "c_current_addr_sk", Distinct: dim(1000000), Min: 1, Max: float64(dim(1000000))},
+			{Name: "c_birth_year", Distinct: 69, Min: 1924, Max: 1992},
+			{Name: "c_birth_month", Distinct: 12, Min: 1, Max: 12},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer_address", Rows: dim(1000000), RowBytes: 110,
+		Columns: []Column{
+			{Name: "ca_address_sk", Distinct: dim(1000000), Min: 1, Max: float64(dim(1000000))},
+			{Name: "ca_state", Distinct: 51, Min: 1, Max: 51},
+			{Name: "ca_city", Distinct: 901, Min: 1, Max: 901},
+			{Name: "ca_gmt_offset", Distinct: 6, Min: -10, Max: -5},
+			{Name: "ca_country", Distinct: 1, Min: 1, Max: 1},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer_demographics", Rows: 1920800, RowBytes: 42,
+		Columns: []Column{
+			{Name: "cd_demo_sk", Distinct: 1920800, Min: 1, Max: 1920800},
+			{Name: "cd_gender", Distinct: 2, Min: 1, Max: 2},
+			{Name: "cd_marital_status", Distinct: 5, Min: 1, Max: 5},
+			{Name: "cd_education_status", Distinct: 7, Min: 1, Max: 7},
+			{Name: "cd_dep_count", Distinct: 7, Min: 0, Max: 6},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "household_demographics", Rows: 7200, RowBytes: 21,
+		Columns: []Column{
+			{Name: "hd_demo_sk", Distinct: 7200, Min: 1, Max: 7200},
+			{Name: "hd_income_band_sk", Distinct: 20, Min: 1, Max: 20},
+			{Name: "hd_buy_potential", Distinct: 6, Min: 1, Max: 6},
+			{Name: "hd_dep_count", Distinct: 10, Min: 0, Max: 9},
+			{Name: "hd_vehicle_count", Distinct: 6, Min: -1, Max: 4},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "item", Rows: dim(204000), RowBytes: 281,
+		Columns: []Column{
+			{Name: "i_item_sk", Distinct: dim(204000), Min: 1, Max: float64(dim(204000))},
+			{Name: "i_brand_id", Distinct: 951, Min: 1, Max: 10016017},
+			{Name: "i_category_id", Distinct: 10, Min: 1, Max: 10},
+			{Name: "i_manufact_id", Distinct: 1000, Min: 1, Max: 1000},
+			{Name: "i_current_price", Distinct: 9900, Min: 0.09, Max: 99.99},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "store", Rows: dim(402), RowBytes: 263,
+		Columns: []Column{
+			{Name: "s_store_sk", Distinct: dim(402), Min: 1, Max: float64(dim(402))},
+			{Name: "s_state", Distinct: 9, Min: 1, Max: 9},
+			{Name: "s_number_employees", Distinct: 100, Min: 200, Max: 300},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "promotion", Rows: dim(1000), RowBytes: 124,
+		Columns: []Column{
+			{Name: "p_promo_sk", Distinct: dim(1000), Min: 1, Max: float64(dim(1000))},
+			{Name: "p_channel_email", Distinct: 2, Min: 0, Max: 1},
+			{Name: "p_channel_event", Distinct: 2, Min: 0, Max: 1},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "warehouse", Rows: dim(15), RowBytes: 117,
+		Columns: []Column{
+			{Name: "w_warehouse_sk", Distinct: dim(15), Min: 1, Max: float64(dim(15))},
+			{Name: "w_state", Distinct: 9, Min: 1, Max: 9},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "call_center", Rows: dim(42), RowBytes: 305,
+		Columns: []Column{
+			{Name: "cc_call_center_sk", Distinct: dim(42), Min: 1, Max: float64(dim(42))},
+			{Name: "cc_county", Distinct: 8, Min: 1, Max: 8},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "web_page", Rows: dim(2040), RowBytes: 96,
+		Columns: []Column{
+			{Name: "wp_web_page_sk", Distinct: dim(2040), Min: 1, Max: float64(dim(2040))},
+			{Name: "wp_char_count", Distinct: 2000, Min: 100, Max: 8000},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "ship_mode", Rows: 20, RowBytes: 56,
+		Columns: []Column{
+			{Name: "sm_ship_mode_sk", Distinct: 20, Min: 1, Max: 20},
+			{Name: "sm_type", Distinct: 5, Min: 1, Max: 5},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "reason", Rows: dim(55), RowBytes: 38,
+		Columns: []Column{
+			{Name: "r_reason_sk", Distinct: dim(55), Min: 1, Max: float64(dim(55))},
+		},
+	})
+	return c
+}

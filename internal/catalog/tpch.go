@@ -1,0 +1,77 @@
+package catalog
+
+// TPCH returns a TPC-H-shaped catalog at the given scale factor. The
+// paper's motivating example query EQ (Fig. 1) — orders for cheap parts,
+// joining part ⋈ lineitem ⋈ orders with the retail-price filter — runs
+// over this schema. Row counts follow the TPC-H specification (SF 1 =
+// 6M lineitem rows); only the columns the workload touches are modeled.
+func TPCH(sf float64) *Catalog {
+	c := New("tpch")
+	n := func(perSF int64) int64 { return scaled(perSF, sf) }
+	c.MustAddTable(&Table{
+		Name: "part", Rows: n(200000), RowBytes: 155,
+		Columns: []Column{
+			{Name: "p_partkey", Distinct: n(200000), Min: 1, Max: float64(n(200000))},
+			{Name: "p_retailprice", Distinct: 20899, Min: 900, Max: 2099},
+			{Name: "p_size", Distinct: 50, Min: 1, Max: 50},
+			{Name: "p_brand", Distinct: 25, Min: 1, Max: 25},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "supplier", Rows: n(10000), RowBytes: 159,
+		Columns: []Column{
+			{Name: "s_suppkey", Distinct: n(10000), Min: 1, Max: float64(n(10000))},
+			{Name: "s_nationkey", Distinct: 25, Min: 0, Max: 24},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "partsupp", Rows: n(800000), RowBytes: 144,
+		Columns: []Column{
+			{Name: "ps_partkey", Distinct: n(200000), Min: 1, Max: float64(n(200000))},
+			{Name: "ps_suppkey", Distinct: n(10000), Min: 1, Max: float64(n(10000))},
+			{Name: "ps_availqty", Distinct: 9999, Min: 1, Max: 9999},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "customer", Rows: n(150000), RowBytes: 179,
+		Columns: []Column{
+			{Name: "c_custkey", Distinct: n(150000), Min: 1, Max: float64(n(150000))},
+			{Name: "c_nationkey", Distinct: 25, Min: 0, Max: 24},
+			{Name: "c_acctbal", Distinct: 100000, Min: -999, Max: 9999},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "orders", Rows: n(1500000), RowBytes: 104,
+		Columns: []Column{
+			{Name: "o_orderkey", Distinct: n(1500000), Min: 1, Max: float64(n(6000000))},
+			{Name: "o_custkey", Distinct: n(100000), Min: 1, Max: float64(n(150000))},
+			{Name: "o_orderdate", Distinct: 2406, Min: 0, Max: 2405},
+			{Name: "o_totalprice", Distinct: 1000000, Min: 850, Max: 560000},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "lineitem", Rows: n(6000000), RowBytes: 112,
+		Columns: []Column{
+			{Name: "l_orderkey", Distinct: n(1500000), Min: 1, Max: float64(n(6000000))},
+			{Name: "l_partkey", Distinct: n(200000), Min: 1, Max: float64(n(200000))},
+			{Name: "l_suppkey", Distinct: n(10000), Min: 1, Max: float64(n(10000))},
+			{Name: "l_shipdate", Distinct: 2526, Min: 0, Max: 2525},
+			{Name: "l_quantity", Distinct: 50, Min: 1, Max: 50},
+			{Name: "l_extendedprice", Distinct: 933900, Min: 900, Max: 104950},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "nation", Rows: 25, RowBytes: 128,
+		Columns: []Column{
+			{Name: "n_nationkey", Distinct: 25, Min: 0, Max: 24},
+			{Name: "n_regionkey", Distinct: 5, Min: 0, Max: 4},
+		},
+	})
+	c.MustAddTable(&Table{
+		Name: "region", Rows: 5, RowBytes: 124,
+		Columns: []Column{
+			{Name: "r_regionkey", Distinct: 5, Min: 0, Max: 4},
+		},
+	})
+	return c
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+)
+
+func TestDeterministicCostErrorRange(t *testing.T) {
+	m := testModel(t)
+	o := optimizer.MustNew(m)
+	fn := DeterministicCostError(0.3, 7)
+	seen := map[float64]bool{}
+	for _, x := range []float64{1e-6, 1e-4, 1e-2, 1} {
+		p, _ := o.Optimize(cost.Location{x, x})
+		f := fn(p)
+		if f < 1/1.3-1e-9 || f > 1.3+1e-9 {
+			t.Errorf("factor %g outside [1/1.3, 1.3]", f)
+		}
+		seen[f] = true
+		// Deterministic per plan.
+		if fn(p) != f {
+			t.Error("factor not deterministic")
+		}
+	}
+	if len(seen) < 2 {
+		t.Error("all plans share one factor; expected plan-dependent error")
+	}
+}
+
+func TestDeterministicCostErrorZeroDelta(t *testing.T) {
+	m := testModel(t)
+	o := optimizer.MustNew(m)
+	p, _ := o.Optimize(cost.Location{1e-4, 1e-4})
+	if f := DeterministicCostError(0, 1)(p); f != 1 {
+		t.Errorf("delta=0 factor = %g, want 1", f)
+	}
+}
+
+func TestDeterministicCostErrorNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delta should panic")
+		}
+	}()
+	DeterministicCostError(-0.1, 1)
+}
+
+func TestDeterministicCostErrorQuick(t *testing.T) {
+	m := testModel(t)
+	o := optimizer.MustNew(m)
+	p, _ := o.Optimize(cost.Location{1e-3, 1e-3})
+	f := func(d uint8, seed uint64) bool {
+		delta := float64(d%50) / 100 // [0, 0.49]
+		factor := DeterministicCostError(delta, seed)(p)
+		return factor >= 1/(1+delta)-1e-9 && factor <= 1+delta+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecuteWithCostError(t *testing.T) {
+	m := testModel(t)
+	truth := cost.Location{1e-3, 1e-3}
+	e := New(m, truth)
+	p, c := optimalPlanAt(t, m, truth)
+
+	// Pessimistic model: every execution is 20% more expensive than
+	// predicted. A budget of exactly the predicted cost now expires.
+	e.CostError = func(_ *plan.Plan) float64 { return 1.2 }
+	res := e.Execute(p, c)
+	if res.Completed {
+		t.Error("pessimistic execution within predicted budget should expire")
+	}
+	if res.Spent != c {
+		t.Errorf("Spent = %g, want the budget %g", res.Spent, c)
+	}
+	res = e.Execute(p, c*1.2*1.0001)
+	if !res.Completed || math.Abs(res.Spent-c*1.2)/c > 1e-9 {
+		t.Errorf("inflated budget should complete at 1.2×cost; got %+v", res)
+	}
+
+	// Optimistic model: execution 20% cheaper than predicted.
+	e.CostError = func(_ *plan.Plan) float64 { return 0.8 }
+	res = e.Execute(p, c)
+	if !res.Completed || math.Abs(res.Spent-c*0.8)/c > 1e-9 {
+		t.Errorf("optimistic execution should complete at 0.8×cost; got %+v", res)
+	}
+}
+
+func TestSpillWithCostError(t *testing.T) {
+	m := testModel(t)
+	truth := cost.Location{1e-1, 1e-1}
+	clean := New(m, truth)
+	p, _ := optimalPlanAt(t, m, truth)
+
+	// Choose a budget where the clean spill does not complete.
+	full, ok := clean.ExecuteSpill(p, 0, math.Inf(1))
+	if !ok || !full.Completed {
+		t.Fatal("setup failed")
+	}
+	budget := full.Spent / 2
+	cleanRes, _ := clean.ExecuteSpill(p, 0, budget)
+	if cleanRes.Completed {
+		t.Fatal("setup: clean spill should not complete at half budget")
+	}
+
+	// Under a pessimistic model the same budget buys less learning.
+	pess := New(m, truth)
+	pess.CostError = func(_ *plan.Plan) float64 { return 1.5 }
+	pessRes, _ := pess.ExecuteSpill(p, 0, budget)
+	if pessRes.Completed {
+		t.Fatal("pessimistic spill should not complete")
+	}
+	if pessRes.Learned >= cleanRes.Learned {
+		t.Errorf("pessimistic bound %g should trail clean bound %g", pessRes.Learned, cleanRes.Learned)
+	}
+
+	// Under an optimistic model it buys more (or completes).
+	opti := New(m, truth)
+	opti.CostError = func(_ *plan.Plan) float64 { return 0.5 }
+	optiRes, _ := opti.ExecuteSpill(p, 0, budget)
+	if !optiRes.Completed && optiRes.Learned <= cleanRes.Learned {
+		t.Errorf("optimistic bound %g should lead clean bound %g", optiRes.Learned, cleanRes.Learned)
+	}
+}

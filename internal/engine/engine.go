@@ -1,0 +1,148 @@
+// Package engine simulates the modified database executor the paper built
+// into PostgreSQL (Sec 6.1): plan execution under a cost budget with forced
+// termination, spill-mode execution that runs only the subtree rooted at an
+// error-prone predicate's node while discarding its output (Sec 3.1.2), and
+// run-time selectivity monitoring that, on budget expiry, reports the
+// largest selectivity consistent with the work performed — realizing the
+// half-space pruning guarantee of Lemma 3.1.
+//
+// The simulation is cost-model-faithful: executing plan P at the true
+// location q_a costs Cost(P, q_a) units; a run whose cost exceeds its budget
+// is charged exactly the budget and aborted. All robustness guarantees in
+// the paper are stated in these units, so the simulator exercises the same
+// algorithmic behaviour as a wall-clock engine.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Executor abstracts the execution substrate the discovery algorithms
+// drive: budget-limited plan execution and spill-mode execution with
+// selectivity monitoring. The cost-model simulator (*Engine) is the default
+// implementation; rowexec.Adapter provides a row-at-a-time physical one.
+type Executor interface {
+	// Execute runs the plan under a cost budget.
+	Execute(p *plan.Plan, budget float64) Result
+	// ExecuteSpill runs the plan in spill-mode on the ESS dimension.
+	ExecuteSpill(p *plan.Plan, dim int, budget float64) (SpillResult, bool)
+}
+
+// Engine executes plans against a fixed true selectivity location q_a.
+type Engine struct {
+	// Model is the shared cost model.
+	Model *cost.Model
+	// Truth is the actual selectivity location q_a, unknown to the
+	// algorithms and only consulted by the simulated executor.
+	Truth cost.Location
+	// TimeScale converts cost units to simulated seconds for wall-clock
+	// reports (cost units per second). Zero disables conversion.
+	TimeScale float64
+	// CostError optionally injects bounded cost-model error: every
+	// execution's true cost is the model's prediction times this factor
+	// (see DeterministicCostError and paper Sec 7). Nil disables injection.
+	CostError CostErrorFn
+}
+
+// New returns an engine executing at the given true location.
+func New(m *cost.Model, truth cost.Location) *Engine {
+	if len(truth) != m.Query.D() {
+		panic(fmt.Sprintf("engine: truth has %d dims, query has %d epps", len(truth), m.Query.D()))
+	}
+	return &Engine{Model: m, Truth: truth, TimeScale: 0}
+}
+
+// Result reports one budgeted (non-spill) execution.
+type Result struct {
+	// Completed is true if the plan ran to completion within its budget.
+	Completed bool
+	// Spent is the cost charged: the plan's full cost when completed, the
+	// entire budget otherwise (partial results are discarded, per the
+	// PlanBouquet protocol).
+	Spent float64
+}
+
+// Execute runs the plan with the given cost budget.
+func (e *Engine) Execute(p *plan.Plan, budget float64) Result {
+	c := e.execCost(p)
+	if c <= budget {
+		return Result{Completed: true, Spent: c}
+	}
+	return Result{Completed: false, Spent: budget}
+}
+
+// SpillResult reports one spill-mode execution.
+type SpillResult struct {
+	// Completed is true if the epp subtree ran to completion, fully
+	// learning the predicate's selectivity.
+	Completed bool
+	// Spent is the cost charged.
+	Spent float64
+	// Learned is the selectivity information gained for the spilled
+	// dimension: the exact selectivity when Completed, otherwise the
+	// largest selectivity whose subtree cost fits in the budget — a strict
+	// lower bound on the true value (run-time monitoring, Lemma 3.1).
+	Learned float64
+}
+
+// ExecuteSpill runs plan p in spill-mode on ESS dimension dim with the
+// given budget: the plan is truncated to the subtree rooted at the node
+// applying the dimension's predicate, the subtree's output is discarded,
+// and the whole budget is devoted to learning that predicate's selectivity.
+// ok is false if the plan does not apply the predicate (no spill possible).
+func (e *Engine) ExecuteSpill(p *plan.Plan, dim int, budget float64) (SpillResult, bool) {
+	joinID := e.Model.Query.EPPs[dim]
+	sub := p.Subtree(joinID)
+	if sub == nil {
+		return SpillResult{}, false
+	}
+	factor := e.errorFactor(p)
+	full := e.Model.Eval(sub, e.Truth) * factor
+	if full <= budget {
+		return SpillResult{Completed: true, Spent: full, Learned: e.Truth[dim]}, true
+	}
+	return SpillResult{
+		Completed: false,
+		Spent:     budget,
+		Learned:   e.monitorBound(sub, dim, budget/factor),
+	}, true
+}
+
+// monitorBound inverts the (monotone) subtree cost along dimension dim:
+// the largest selectivity s <= truth[dim] with Cost(subtree, truth[dim:=s])
+// <= budget. This simulates counting the rows the spilled operator produced
+// before the budget expired.
+func (e *Engine) monitorBound(sub *plan.Plan, dim int, budget float64) float64 {
+	probe := e.Truth.Clone()
+	eval := func(s float64) float64 {
+		probe[dim] = s
+		return e.Model.Eval(sub, probe)
+	}
+	lo, hi := 0.0, e.Truth[dim]
+	if eval(lo) > budget {
+		// Even the zero-selectivity work exceeds the budget: nothing about
+		// the dimension was learnt.
+		return 0
+	}
+	for i := 0; i < 64 && hi-lo > 1e-16; i++ {
+		mid := (lo + hi) / 2
+		if eval(mid) <= budget {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Seconds converts cost units to simulated wall-clock seconds under the
+// engine's TimeScale; it returns the raw units when no scale is set.
+func (e *Engine) Seconds(costUnits float64) float64 {
+	if e.TimeScale <= 0 {
+		return costUnits
+	}
+	return costUnits / e.TimeScale
+}

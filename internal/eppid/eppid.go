@@ -1,0 +1,96 @@
+// Package eppid implements the pragmatic error-prone-predicate
+// identification the paper defers to deployment (Sec 7): "we could leverage
+// application domain knowledge and query logs to make this selection, or
+// simply be conservative and assign all uncertain combination of predicates
+// to be epps". Without logs, the package scores each join predicate's
+// error-proneness from catalog statistics using the classic root causes of
+// estimation error (coarse statistics, attribute-value-independence,
+// error propagation through the join tree):
+//
+//   - volume: joins over large inputs amplify absolute errors;
+//   - NDV mismatch: the containment assumption behind 1/max(NDV) estimates
+//     degrades as the two sides' domains diverge;
+//   - propagation depth: predicates evaluated above filtered inputs compound
+//     upstream errors (each filter contributes AVI risk).
+package eppid
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/query"
+)
+
+// Score is one join predicate's error-proneness assessment.
+type Score struct {
+	// JoinID identifies the predicate in the query's join list.
+	JoinID int
+	// Total is the combined score; higher means more error-prone.
+	Total float64
+	// Volume, Mismatch and Propagation are the component scores.
+	Volume, Mismatch, Propagation float64
+}
+
+// Rank scores every join predicate of the query and returns the scores in
+// descending error-proneness order (ties broken by join ID for
+// determinism).
+func Rank(q *query.Query) []Score {
+	scores := make([]Score, 0, len(q.Joins))
+	for _, j := range q.Joins {
+		lt := q.Relations[j.LeftRel].Table
+		rt := q.Relations[j.RightRel].Table
+
+		// Volume: joins over big inputs dominate the plan's cost and are
+		// where estimation errors hurt; log-scaled product of sides.
+		volume := math.Log10(float64(lt.Rows)+1) + math.Log10(float64(rt.Rows)+1)
+
+		// NDV mismatch: |log ratio| of the joined columns' NDVs. The
+		// textbook 1/max(NDV) estimate assumes key containment; a large
+		// mismatch signals the assumption is doing heavy lifting.
+		lNDV, rNDV := 1.0, 1.0
+		if col, ok := lt.Column(j.Left.Column); ok {
+			lNDV = float64(col.Distinct)
+		}
+		if col, ok := rt.Column(j.Right.Column); ok {
+			rNDV = float64(col.Distinct)
+		}
+		mismatch := math.Abs(math.Log10(lNDV) - math.Log10(rNDV))
+
+		// Propagation: each filter on either input is an AVI-correlation
+		// risk whose error the join inherits.
+		prop := 0.0
+		for _, f := range q.Filters {
+			if f.Rel == j.LeftRel || f.Rel == j.RightRel {
+				prop++
+			}
+		}
+
+		scores = append(scores, Score{
+			JoinID: j.ID,
+			Volume: volume, Mismatch: mismatch, Propagation: prop,
+			Total: volume + 2*mismatch + prop,
+		})
+	}
+	sort.Slice(scores, func(i, k int) bool {
+		if scores[i].Total != scores[k].Total {
+			return scores[i].Total > scores[k].Total
+		}
+		return scores[i].JoinID < scores[k].JoinID
+	})
+	return scores
+}
+
+// Identify returns the IDs of the top-k most error-prone join predicates,
+// in dimension order (descending score). k is clamped to the number of
+// joins; k <= 0 selects all joins — the paper's conservative fallback.
+func Identify(q *query.Query, k int) []int {
+	scores := Rank(q)
+	if k <= 0 || k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].JoinID
+	}
+	return out
+}

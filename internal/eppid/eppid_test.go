@@ -1,0 +1,98 @@
+package eppid
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+func TestRankCoversAllJoins(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	for _, sp := range workload.TPCDSQueries() {
+		q, err := sp.Build(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores := Rank(q)
+		if len(scores) != len(q.Joins) {
+			t.Fatalf("%s: %d scores for %d joins", sp.Name, len(scores), len(q.Joins))
+		}
+		seen := map[int]bool{}
+		for i, s := range scores {
+			if seen[s.JoinID] {
+				t.Fatalf("%s: duplicate join %d", sp.Name, s.JoinID)
+			}
+			seen[s.JoinID] = true
+			if s.Total < 0 {
+				t.Errorf("%s: negative score %v", sp.Name, s)
+			}
+			if i > 0 && scores[i-1].Total < s.Total {
+				t.Errorf("%s: scores not descending at %d", sp.Name, i)
+			}
+		}
+	}
+}
+
+func TestIdentifyClamps(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	q, err := workload.Q91(4).Build(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Identify(q, 3); len(got) != 3 {
+		t.Errorf("Identify(3) = %v", got)
+	}
+	if got := Identify(q, 0); len(got) != len(q.Joins) {
+		t.Errorf("Identify(0) should select all joins, got %d", len(got))
+	}
+	if got := Identify(q, 99); len(got) != len(q.Joins) {
+		t.Errorf("Identify(99) should clamp, got %d", len(got))
+	}
+}
+
+// TestIdentifyFindsDesignatedEPPs is the plausibility check: on the
+// benchmark suite, the paper-designated epps (all joins of the fact-table
+// star) should rank clearly above trivially-estimable predicates. We check
+// that the top-D identified joins overlap the designated epps on most suite
+// queries.
+func TestIdentifyFindsDesignatedEPPs(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	totalHits, totalEPPs := 0, 0
+	for _, sp := range workload.TPCDSQueries() {
+		q, err := sp.Build(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		top := Identify(q, q.D())
+		designated := map[int]bool{}
+		for _, id := range q.EPPs {
+			designated[id] = true
+		}
+		for _, id := range top {
+			if designated[id] {
+				totalHits++
+			}
+		}
+		totalEPPs += q.D()
+	}
+	recall := float64(totalHits) / float64(totalEPPs)
+	t.Logf("designated-epp recall over the suite: %.0f%%", recall*100)
+	if recall < 0.5 {
+		t.Errorf("heuristic recall %.0f%% below 50%%", recall*100)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	q, err := workload.Q91(6).Build(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Identify(q, 4), Identify(q, 4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Identify not deterministic")
+		}
+	}
+}

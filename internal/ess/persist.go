@@ -1,0 +1,147 @@
+package ess
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// Persistence for built spaces. The paper notes (Sec 7) that contour
+// construction is computationally intensive but, for canned queries, can be
+// enumerated offline; Save/Load make that offline investment reusable
+// across processes. The query and cost model are not serialized — the
+// caller re-binds them at load time and the dimensionality is validated.
+
+// spaceDTO is the on-disk representation.
+type spaceDTO struct {
+	Version    int
+	GridPoints [][]float64
+	OptCost    []float64
+	PlanIdx    []int32
+	Plans      []*nodeDTO
+}
+
+// nodeDTO serializes one plan node.
+type nodeDTO struct {
+	Kind        int8
+	Rel         int32
+	JoinIDs     []int
+	Left, Right *nodeDTO
+}
+
+const persistVersion = 1
+
+func toDTO(n *plan.Node) *nodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &nodeDTO{
+		Kind:    int8(n.Kind),
+		Rel:     int32(n.Rel),
+		JoinIDs: n.JoinIDs,
+		Left:    toDTO(n.Left),
+		Right:   toDTO(n.Right),
+	}
+}
+
+func fromDTO(d *nodeDTO) *plan.Node {
+	if d == nil {
+		return nil
+	}
+	return &plan.Node{
+		Kind:    plan.OpKind(d.Kind),
+		Rel:     int(d.Rel),
+		JoinIDs: d.JoinIDs,
+		Left:    fromDTO(d.Left),
+		Right:   fromDTO(d.Right),
+	}
+}
+
+// Save writes the space's grid, cost surface and POSP to w in a compact
+// binary encoding.
+func (s *Space) Save(w io.Writer) error {
+	dto := spaceDTO{
+		Version:    persistVersion,
+		GridPoints: s.Grid.Points,
+		OptCost:    s.optCost,
+		PlanIdx:    s.planIdx,
+		Plans:      make([]*nodeDTO, len(s.plans)),
+	}
+	for i, p := range s.plans {
+		dto.Plans[i] = toDTO(p.Root)
+	}
+	return gob.NewEncoder(w).Encode(&dto)
+}
+
+// Load reads a space previously written by Save and re-binds it to the
+// given cost model, whose query must have the same ESS dimensionality and
+// at least as many relations and join predicates as the saved plans
+// reference.
+func Load(r io.Reader, m *cost.Model) (*Space, error) {
+	var dto spaceDTO
+	if err := gob.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, fmt.Errorf("ess: load: %w", err)
+	}
+	if dto.Version != persistVersion {
+		return nil, fmt.Errorf("ess: load: unsupported version %d", dto.Version)
+	}
+	if len(dto.GridPoints) != m.Query.D() {
+		return nil, fmt.Errorf("ess: load: saved space has %d dims, query has %d epps",
+			len(dto.GridPoints), m.Query.D())
+	}
+	g := newGridFromPoints(dto.GridPoints)
+	if len(dto.OptCost) != g.Size() || len(dto.PlanIdx) != g.Size() {
+		return nil, fmt.Errorf("ess: load: surface size mismatch")
+	}
+	s := &Space{
+		Grid:    g,
+		Query:   m.Query,
+		Model:   m,
+		optCost: dto.OptCost,
+		planIdx: dto.PlanIdx,
+		plans:   make([]*plan.Plan, len(dto.Plans)),
+	}
+	nRel, nJoin := len(m.Query.Relations), len(m.Query.Joins)
+	for i, d := range dto.Plans {
+		root := fromDTO(d)
+		if err := validateNode(root, nRel, nJoin); err != nil {
+			return nil, fmt.Errorf("ess: load: plan %d: %w", i, err)
+		}
+		s.plans[i] = plan.New(root)
+	}
+	for _, id := range s.planIdx {
+		if int(id) < 0 || int(id) >= len(s.plans) {
+			return nil, fmt.Errorf("ess: load: plan index %d out of range", id)
+		}
+	}
+	return s, nil
+}
+
+func validateNode(n *plan.Node, nRel, nJoin int) error {
+	if n == nil {
+		return fmt.Errorf("nil node")
+	}
+	switch n.Kind {
+	case plan.SeqScan:
+		if n.Rel < 0 || n.Rel >= nRel {
+			return fmt.Errorf("scan relation %d out of range", n.Rel)
+		}
+		return nil
+	case plan.Sort, plan.Aggregate:
+		return validateNode(n.Left, nRel, nJoin)
+	case plan.HashJoin, plan.MergeJoin, plan.NestLoop, plan.IndexNestLoop:
+		for _, id := range n.JoinIDs {
+			if id < 0 || id >= nJoin {
+				return fmt.Errorf("join predicate %d out of range", id)
+			}
+		}
+		if err := validateNode(n.Left, nRel, nJoin); err != nil {
+			return err
+		}
+		return validateNode(n.Right, nRel, nJoin)
+	}
+	return fmt.Errorf("unknown operator kind %d", n.Kind)
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/spillbound"
+	"repro/internal/workload"
+)
+
+// testLab returns a lab with shrunken grids and sweep budgets so the whole
+// experiment suite exercises in seconds.
+func testLab() *Lab {
+	cfg := DefaultConfig()
+	cfg.MaxLocations = 48
+	cfg.ResOverride = map[string]int{}
+	for _, sp := range workload.TPCDSQueries() {
+		switch sp.D {
+		case 3:
+			cfg.ResOverride[sp.Name] = 6
+		case 4:
+			cfg.ResOverride[sp.Name] = 5
+		default:
+			cfg.ResOverride[sp.Name] = 4
+		}
+	}
+	for d := 2; d <= 6; d++ {
+		name := workload.Q91(d).Name
+		if _, ok := cfg.ResOverride[name]; !ok {
+			cfg.ResOverride[name] = []int{0, 0, 10, 6, 5, 4, 4}[d]
+		}
+	}
+	cfg.ResOverride["JOB_1a"] = 10
+	return NewLab(cfg)
+}
+
+func TestFig8Guarantees(t *testing.T) {
+	l := testLab()
+	rows, err := l.Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.TPCDSQueries()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SB != spillbound.Guarantee(r.D) {
+			t.Errorf("%s: SB guarantee %g != %g", r.Query, r.SB, spillbound.Guarantee(r.D))
+		}
+		if r.RhoRed < 1 || r.PB != 4*1.2*float64(r.RhoRed) {
+			t.Errorf("%s: PB guarantee inconsistent: ρ=%d PB=%g", r.Query, r.RhoRed, r.PB)
+		}
+	}
+	out := RenderGuarantees("Fig 8", rows)
+	if !strings.Contains(out, "4D_Q91") {
+		t.Errorf("render missing query:\n%s", out)
+	}
+}
+
+func TestFig9Dimensionality(t *testing.T) {
+	l := testLab()
+	rows, err := l.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (D=2..6)", len(rows))
+	}
+	// SB's guarantee grows as D²+3D; at high D it should be at or below
+	// PB's behavioral bound if ρ grows (paper Fig. 9 shape) — we assert
+	// only the structural values.
+	for i, r := range rows {
+		wantD := i + 2
+		if r.D != wantD || r.SB != spillbound.Guarantee(wantD) {
+			t.Errorf("row %d: D=%d SB=%g", i, r.D, r.SB)
+		}
+	}
+}
+
+func TestFig10EmpiricalMSO(t *testing.T) {
+	l := testLab()
+	rows, err := l.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.A < 1 || r.B < 1 {
+			t.Errorf("%s: MSOe below 1: PB=%g SB=%g", r.Query, r.A, r.B)
+		}
+		if r.B > spillbound.Guarantee(r.D)+1e-9 {
+			t.Errorf("%s: SB MSOe %g exceeds structural bound %g", r.Query, r.B, spillbound.Guarantee(r.D))
+		}
+	}
+	out := RenderEmpirical("Fig 10", "PB", "SB", rows)
+	if !strings.Contains(out, "PB") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig11ASO(t *testing.T) {
+	l := testLab()
+	rows, err := l.Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.A < 1 || r.B < 1 {
+			t.Errorf("%s: ASO below 1: PB=%g SB=%g", r.Query, r.A, r.B)
+		}
+	}
+}
+
+func TestFig12Histogram(t *testing.T) {
+	l := testLab()
+	res, err := l.Fig12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(h []float64) float64 {
+		s := 0.0
+		for _, v := range h {
+			s += v
+		}
+		return s
+	}
+	var pb, sb []float64
+	for i := range res.PB {
+		pb = append(pb, res.PB[i].Pct)
+		sb = append(sb, res.SB[i].Pct)
+	}
+	if math.Abs(sum(pb)-100) > 1e-6 || math.Abs(sum(sb)-100) > 1e-6 {
+		t.Errorf("histogram pcts sum to %g / %g", sum(pb), sum(sb))
+	}
+	out := RenderHistogram(res)
+	if !strings.Contains(out, "[0,5)") || !strings.Contains(out, "inf") {
+		t.Errorf("render malformed:\n%s", out)
+	}
+}
+
+func TestFig13ABvsSB(t *testing.T) {
+	l := testLab()
+	rows, err := l.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Ref != float64(2*r.D+2) {
+			t.Errorf("%s: ref %g != 2D+2", r.Query, r.Ref)
+		}
+		if r.B > spillbound.Guarantee(r.D)+1e-9 {
+			t.Errorf("%s: AB MSOe %g exceeds upper bound", r.Query, r.B)
+		}
+	}
+	out := RenderEmpirical("Fig 13", "SB", "AB", rows)
+	if !strings.Contains(out, "2D+2") {
+		t.Error("render missing reference column")
+	}
+}
+
+func TestTable2Alignment(t *testing.T) {
+	l := testLab()
+	rows, err := l.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.OriginalPct < 0 || r.OriginalPct > 100 {
+			t.Errorf("%s: original %g%%", r.Query, r.OriginalPct)
+		}
+		if r.Pct12 > r.Pct15+1e-9 || r.Pct15 > r.Pct20+1e-9 {
+			t.Errorf("%s: percentages not monotone: %g %g %g", r.Query, r.Pct12, r.Pct15, r.Pct20)
+		}
+		if r.OriginalPct > r.Pct12+1e-9 {
+			t.Errorf("%s: original %g%% exceeds λ=1.2 %g%%", r.Query, r.OriginalPct, r.Pct12)
+		}
+	}
+	if out := RenderTable2(rows); !strings.Contains(out, "max λ") {
+		t.Error("render missing max λ column")
+	}
+}
+
+func TestTable3WallClock(t *testing.T) {
+	l := testLab()
+	res, err := l.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no drill-down rows")
+	}
+	if res.OptSeconds != 44 {
+		t.Errorf("OptSeconds = %g", res.OptSeconds)
+	}
+	for _, so := range []float64{res.NativeSubOpt, res.SBSubOpt, res.ABSubOpt} {
+		if so < 1-1e-6 {
+			t.Errorf("sub-optimality %g below 1", so)
+		}
+	}
+	if res.SBSubOpt > spillbound.Guarantee(4) {
+		t.Errorf("SB subopt %g exceeds bound", res.SBSubOpt)
+	}
+	// Cumulative time must be nondecreasing.
+	prev := 0.0
+	for _, row := range res.Rows {
+		if row.CumSeconds < prev {
+			t.Errorf("cumulative time decreased: %g after %g", row.CumSeconds, prev)
+		}
+		prev = row.CumSeconds
+	}
+	if out := RenderTable3(res); !strings.Contains(out, "optimal: 44 s") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestTable4Penalties(t *testing.T) {
+	l := testLab()
+	rows, err := l.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(workload.TPCDSQueries()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.MaxPenalty < 0 || math.IsInf(r.MaxPenalty, 1) {
+			t.Errorf("%s: max penalty %g", r.Query, r.MaxPenalty)
+		}
+	}
+	if out := RenderTable4(rows); !strings.Contains(out, "max penalty") {
+		t.Error("render missing header")
+	}
+}
+
+func TestPlatformShift(t *testing.T) {
+	l := testLab()
+	rows, err := l.PlatformShift()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// SpillBound's bound is identical across platforms; that is the point.
+	if rows[0].SB != rows[1].SB {
+		t.Errorf("SB bound differs across platforms: %g vs %g", rows[0].SB, rows[1].SB)
+	}
+	if out := RenderPlatform(rows); !strings.Contains(out, "postgres-like") {
+		t.Error("render missing profile")
+	}
+}
+
+func TestJOBEvaluation(t *testing.T) {
+	l := testLab()
+	res, err := l.JOB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Sec 6.5 shape: native far above the robust algorithms.
+	if res.NativeMSO <= res.SBMSO {
+		t.Errorf("native MSO %g should exceed SB %g", res.NativeMSO, res.SBMSO)
+	}
+	if res.SBMSO > spillbound.Guarantee(2) {
+		t.Errorf("SB MSO %g exceeds bound 10", res.SBMSO)
+	}
+	if out := RenderJOB(res); !strings.Contains(out, "native MSO") {
+		t.Error("render missing native row")
+	}
+}
+
+func TestLabCatalogErrors(t *testing.T) {
+	l := testLab()
+	if _, err := l.Catalog("nope"); err == nil {
+		t.Error("unknown catalog should error")
+	}
+}
+
+func TestSpaceCaching(t *testing.T) {
+	l := testLab()
+	sp, _ := workload.ByName("3D_Q96")
+	a, err := l.Space(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Space(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Space not cached")
+	}
+}

@@ -1,0 +1,238 @@
+// Package lowerbound realizes the adversarial construction behind the
+// paper's Theorem 4.6: for any deterministic algorithm in the class E of
+// half-space-pruning selectivity discovery algorithms, and any D >= 2,
+// there exists a D-dimensional ESS on which the algorithm's MSO is at
+// least D.
+//
+// The construction is rendered as an oracle game. The adversary maintains a
+// family of D candidate instances I_1..I_D; instance I_k has the k-th epp
+// "hot" (selectivity 1) and every other epp cold (selectivity δ≈0), with
+// the cost geometry normalized so each instance's oracle-optimal cost is C:
+//
+//   - probing (spill-executing on) dimension j teaches only half-space
+//     information about dimension j — the defining property of the class E;
+//   - the probe completes, fully revealing q_a.j, only when its budget
+//     reaches the dimension's subtree cost, which is at least (1-γ)·C even
+//     for cold dimensions (the epp's subtree processes the fact table
+//     regardless of how few rows it emits);
+//   - the plans are brittle: the plan ideal for I_k costs an arbitrarily
+//     large multiple of C on any other instance, so finishing the query
+//     cheaply requires knowing which instance is live.
+//
+// Against any deterministic strategy the adversary answers each
+// distinguishing probe so as to eliminate at most one candidate, so
+// identifying the live instance costs at least (D-1)(1-γ)C, plus C for the
+// final complete execution: MSO >= D(1-γ) -> D as γ -> 0. The package also
+// provides the matching upper-bound strategy (probe each dimension once,
+// then execute), demonstrating tightness at Θ(D).
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+)
+
+// Game is one adversarial lower-bound instance family.
+type Game struct {
+	// D is the ESS dimensionality (number of candidate instances).
+	D int
+	// C is the oracle-optimal cost of every instance.
+	C float64
+	// Gamma in (0,1) is the discount on cold dimensions' probe cost; the
+	// bound obtained is D·(1-Gamma).
+	Gamma float64
+	// WrongPlanFactor is the cost multiple a brittle plan pays on a
+	// non-matching instance.
+	WrongPlanFactor float64
+}
+
+// NewGame returns a game with the given dimensionality and a small gamma.
+func NewGame(d int) *Game {
+	return &Game{D: d, C: 1000, Gamma: 0.01, WrongPlanFactor: 1e6}
+}
+
+// ColdSel is the cold dimensions' selectivity.
+const ColdSel = 1e-6
+
+// Action is one move of the algorithm under test.
+type Action struct {
+	// Probe, when true, spill-executes on dimension Dim with Budget;
+	// otherwise the action executes the plan specialized for instance
+	// Plan (0-based) with Budget, attempting to produce the query result.
+	Probe  bool
+	Dim    int
+	Plan   int
+	Budget float64
+}
+
+// Observation is the half-space information returned for an action.
+type Observation struct {
+	// Completed reports whether the probe subtree (or final plan) ran to
+	// completion within its budget.
+	Completed bool
+	// Learned is the revealed selectivity of the probed dimension when a
+	// probe completes (ColdSel or 1); NaN otherwise.
+	Learned float64
+	// Spent is the cost charged.
+	Spent float64
+}
+
+// Algorithm is a deterministic strategy: given the history of its own
+// actions and the adversary's observations, produce the next action.
+// Returning done=true before the query has completed forfeits.
+type Algorithm interface {
+	// Next returns the strategy's next action.
+	Next(history []Step) (a Action, done bool)
+}
+
+// Step pairs an action with its observation.
+type Step struct {
+	// Action is the move taken.
+	Action Action
+	// Obs is the adversary's answer.
+	Obs Observation
+}
+
+// Result summarizes one adversarial play.
+type Result struct {
+	// TotalCost is everything the algorithm spent.
+	TotalCost float64
+	// Instance is the instance the adversary finally committed to.
+	Instance int
+	// Completed reports whether the query was eventually produced.
+	Completed bool
+	// Steps is the full transcript.
+	Steps []Step
+	// MSO is TotalCost / C.
+	MSO float64
+}
+
+// maxSteps bounds a play to guard against non-terminating strategies.
+const maxSteps = 100000
+
+// probeCost returns the cost to fully learn dimension j under instance k.
+func (g *Game) probeCost(j, k int) float64 {
+	if j == k {
+		return g.C // the hot dimension's subtree costs the full C
+	}
+	return (1 - g.Gamma) * g.C
+}
+
+// Play runs the algorithm against the adaptive adversary and returns the
+// forced outcome.
+func (g *Game) Play(alg Algorithm) Result {
+	alive := make(map[int]bool, g.D)
+	for k := 0; k < g.D; k++ {
+		alive[k] = true
+	}
+	// lowBound[j] tracks the published half-space knowledge: q_a.j > lowBound[j].
+	var history []Step
+	total := 0.0
+
+	anyAliveExcept := func(k int) (int, bool) {
+		for m := range alive {
+			if m != k {
+				return m, true
+			}
+		}
+		return -1, false
+	}
+
+	for len(history) < maxSteps {
+		a, done := alg.Next(history)
+		if done {
+			break
+		}
+		var obs Observation
+		obs.Learned = math.NaN()
+		switch {
+		case a.Probe:
+			if a.Dim < 0 || a.Dim >= g.D {
+				panic(fmt.Sprintf("lowerbound: probe dim %d out of range", a.Dim))
+			}
+			cold, hot := g.probeCost(a.Dim, (a.Dim+1)%g.D), g.probeCost(a.Dim, a.Dim)
+			switch {
+			case a.Budget < cold:
+				// Cannot complete under any alive instance: pure
+				// half-space progress, nothing distinguished.
+				obs = Observation{Completed: false, Learned: math.NaN(), Spent: a.Budget}
+			case a.Budget < hot:
+				// Completes iff the dimension is cold — a distinguishing
+				// probe. The adversary keeps the larger candidate set:
+				// answering "completed cold" eliminates only I_dim.
+				if len(alive) > 1 || !alive[a.Dim] {
+					delete(alive, a.Dim)
+					obs = Observation{Completed: true, Learned: ColdSel, Spent: cold}
+				} else {
+					// Only I_dim remains: it is hot, probe expires.
+					obs = Observation{Completed: false, Learned: math.NaN(), Spent: a.Budget}
+				}
+			default:
+				// Budget covers even the hot case: completes regardless,
+				// revealing the dimension fully. The adversary again
+				// prefers the answer preserving more candidates.
+				if len(alive) > 1 || !alive[a.Dim] {
+					delete(alive, a.Dim)
+					obs = Observation{Completed: true, Learned: ColdSel, Spent: cold}
+				} else {
+					obs = Observation{Completed: true, Learned: 1, Spent: hot}
+				}
+			}
+		default:
+			if a.Plan < 0 || a.Plan >= g.D {
+				panic(fmt.Sprintf("lowerbound: plan %d out of range", a.Plan))
+			}
+			// The brittle plan for I_k finishes at cost C only on I_k.
+			if m, other := anyAliveExcept(a.Plan); other {
+				// The adversary keeps a non-matching instance alive: the
+				// plan would cost WrongPlanFactor·C there, far over any
+				// sane budget. If the algorithm nevertheless paid for it,
+				// the adversary happily completes at that price.
+				wrong := g.WrongPlanFactor * g.C
+				if a.Budget >= wrong {
+					alive = map[int]bool{m: true}
+					obs = Observation{Completed: true, Spent: wrong}
+				} else {
+					// A failed run rules out I_plan only if the budget
+					// would have sufficed there (cost C): the algorithm
+					// may deduce q_a ≠ I_plan exactly in that case.
+					if a.Budget >= g.C && alive[a.Plan] && len(alive) > 1 {
+						delete(alive, a.Plan)
+					}
+					obs = Observation{Completed: false, Spent: a.Budget}
+				}
+			} else if alive[a.Plan] {
+				// Only the matching instance remains.
+				if a.Budget >= g.C {
+					obs = Observation{Completed: true, Spent: g.C}
+				} else {
+					obs = Observation{Completed: false, Spent: a.Budget}
+				}
+			} else {
+				// Algorithm bets on an eliminated instance.
+				obs = Observation{Completed: false, Spent: math.Min(a.Budget, g.WrongPlanFactor*g.C)}
+			}
+		}
+		total += obs.Spent
+		history = append(history, Step{Action: a, Obs: obs})
+		if !a.Probe && obs.Completed {
+			inst := -1
+			for m := range alive {
+				inst = m
+			}
+			return Result{
+				TotalCost: total, Instance: inst, Completed: true,
+				Steps: history, MSO: total / g.C,
+			}
+		}
+	}
+	inst := -1
+	for m := range alive {
+		inst = m
+	}
+	return Result{TotalCost: total, Instance: inst, Completed: false, Steps: history, MSO: total / g.C}
+}
+
+// LowerBound returns the MSO floor the game forces on every deterministic
+// algorithm: D·(1-Gamma) (approaching Theorem 4.6's D as Gamma → 0).
+func (g *Game) LowerBound() float64 { return float64(g.D) * (1 - g.Gamma) }

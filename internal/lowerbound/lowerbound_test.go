@@ -1,0 +1,240 @@
+package lowerbound
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// roundRobin is the natural matching strategy: probe each dimension once
+// with a distinguishing budget (enough to complete cold dims), then execute
+// the plan of whichever instance survives.
+type roundRobin struct {
+	g     *Game
+	order []int
+}
+
+func (r *roundRobin) Next(history []Step) (Action, bool) {
+	probed := map[int]bool{}
+	remaining := map[int]bool{}
+	for k := 0; k < r.g.D; k++ {
+		remaining[k] = true
+	}
+	for _, st := range history {
+		if st.Action.Probe {
+			probed[st.Action.Dim] = true
+			if st.Obs.Completed && st.Obs.Learned == ColdSel {
+				delete(remaining, st.Action.Dim)
+			}
+		}
+	}
+	// Probe dims in the fixed order until only one candidate remains.
+	if len(remaining) > 1 {
+		for _, d := range r.order {
+			if !probed[d] {
+				// Distinguishing budget: covers cold, not hot.
+				return Action{Probe: true, Dim: d, Budget: (1 - r.g.Gamma/2) * r.g.C}, false
+			}
+		}
+	}
+	// Execute the surviving instance's plan.
+	for k := range remaining {
+		return Action{Probe: false, Plan: k, Budget: r.g.C}, false
+	}
+	return Action{}, true
+}
+
+func TestRoundRobinAchievesThetaD(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		g := NewGame(d)
+		res := g.Play(&roundRobin{g: g, order: identity(d)})
+		if !res.Completed {
+			t.Fatalf("D=%d: round robin did not complete", d)
+		}
+		if res.MSO < g.LowerBound()-1e-9 {
+			t.Errorf("D=%d: MSO %.3f below the forced bound %.3f", d, res.MSO, g.LowerBound())
+		}
+		// Matching upper bound: (D-1)(1-γ) + 1 <= D, so MSO ~ D.
+		if res.MSO > float64(d)+1e-9 {
+			t.Errorf("D=%d: matching strategy MSO %.3f exceeds D=%d", d, res.MSO, d)
+		}
+	}
+}
+
+func identity(d int) []int {
+	out := make([]int, d)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestAllProbeOrdersForcedToD: whatever deterministic order the strategy
+// probes in, the adversary forces MSO >= D(1-γ) — the Theorem 4.6 claim for
+// this strategy family, checked exhaustively over all D! orders for small D
+// and by random sample beyond.
+func TestAllProbeOrdersForcedToD(t *testing.T) {
+	for d := 2; d <= 4; d++ {
+		g := NewGame(d)
+		permute(identity(d), func(order []int) {
+			res := g.Play(&roundRobin{g: g, order: append([]int(nil), order...)})
+			if !res.Completed {
+				t.Fatalf("D=%d order %v: did not complete", d, order)
+			}
+			if res.MSO < g.LowerBound()-1e-9 {
+				t.Fatalf("D=%d order %v: MSO %.3f below bound %.3f", d, order, res.MSO, g.LowerBound())
+			}
+		})
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		d := 5 + rng.Intn(3)
+		g := NewGame(d)
+		order := rng.Perm(d)
+		res := g.Play(&roundRobin{g: g, order: order})
+		if res.MSO < g.LowerBound()-1e-9 {
+			t.Fatalf("D=%d order %v: MSO %.3f below bound %.3f", d, order, res.MSO, g.LowerBound())
+		}
+	}
+}
+
+func permute(xs []int, f func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(xs) {
+			f(xs)
+			return
+		}
+		for i := k; i < len(xs); i++ {
+			xs[k], xs[i] = xs[i], xs[k]
+			rec(k + 1)
+			xs[k], xs[i] = xs[i], xs[k]
+		}
+	}
+	rec(0)
+}
+
+// blindExecutor bets on plans without probing: the adversary punishes the
+// gamble — either the budget is refused (cost piles up) or the algorithm
+// pays the brittle-plan price.
+type blindExecutor struct{ g *Game }
+
+func (b *blindExecutor) Next(history []Step) (Action, bool) {
+	k := len(history)
+	if k >= b.g.D-1 {
+		// Last candidate standing: pay up.
+		return Action{Probe: false, Plan: b.g.D - 1, Budget: b.g.C}, false
+	}
+	return Action{Probe: false, Plan: k, Budget: b.g.C}, false
+}
+
+func TestBlindExecutionCannotBeatBound(t *testing.T) {
+	for d := 2; d <= 6; d++ {
+		g := NewGame(d)
+		res := g.Play(&blindExecutor{g: g})
+		if res.Completed && res.MSO < g.LowerBound()-1e-9 {
+			t.Errorf("D=%d: blind executor beat the bound with MSO %.3f", d, res.MSO)
+		}
+	}
+}
+
+// cheapProber tries to identify the live instance with tiny budgets; those
+// probes yield no distinguishing information, so it can never finish below
+// the bound.
+type cheapProber struct {
+	g *Game
+}
+
+func (c *cheapProber) Next(history []Step) (Action, bool) {
+	if len(history) < c.g.D {
+		return Action{Probe: true, Dim: len(history) % c.g.D, Budget: c.g.C / 1000}, false
+	}
+	// Saw nothing; fall back to the honest strategy.
+	rr := &roundRobin{g: c.g, order: identity(c.g.D)}
+	a, done := rr.Next(history[c.g.D:])
+	return a, done
+}
+
+func TestCheapProbesAreUseless(t *testing.T) {
+	g := NewGame(3)
+	res := g.Play(&cheapProber{g: g})
+	if !res.Completed {
+		t.Fatal("did not complete")
+	}
+	if res.MSO < g.LowerBound()-1e-9 {
+		t.Errorf("cheap probes beat the bound: MSO %.3f", res.MSO)
+	}
+	// The wasted probes must be accounted.
+	honest := g.Play(&roundRobin{g: g, order: identity(3)})
+	if res.TotalCost <= honest.TotalCost {
+		t.Errorf("wasted probes should cost extra: %.1f vs %.1f", res.TotalCost, honest.TotalCost)
+	}
+}
+
+// overpayingProber probes with budgets covering even the hot case; the
+// adversary's answers keep it at the same Θ(D) total.
+type overpayingProber struct{ g *Game }
+
+func (o *overpayingProber) Next(history []Step) (Action, bool) {
+	remaining := map[int]bool{}
+	for k := 0; k < o.g.D; k++ {
+		remaining[k] = true
+	}
+	probed := map[int]bool{}
+	for _, st := range history {
+		if st.Action.Probe {
+			probed[st.Action.Dim] = true
+			if st.Obs.Completed && st.Obs.Learned == ColdSel {
+				delete(remaining, st.Action.Dim)
+			}
+		}
+	}
+	if len(remaining) > 1 {
+		for d := 0; d < o.g.D; d++ {
+			if !probed[d] {
+				return Action{Probe: true, Dim: d, Budget: 2 * o.g.C}, false
+			}
+		}
+	}
+	for k := range remaining {
+		return Action{Probe: false, Plan: k, Budget: o.g.C}, false
+	}
+	return Action{}, true
+}
+
+func TestOverpayingProberStillPaysD(t *testing.T) {
+	for d := 2; d <= 5; d++ {
+		g := NewGame(d)
+		res := g.Play(&overpayingProber{g: g})
+		if !res.Completed {
+			t.Fatalf("D=%d: did not complete", d)
+		}
+		if res.MSO < g.LowerBound()-1e-9 {
+			t.Errorf("D=%d: MSO %.3f below bound", d, res.MSO)
+		}
+	}
+}
+
+func TestGameSanity(t *testing.T) {
+	g := NewGame(3)
+	if g.LowerBound() <= 2.9 || g.LowerBound() > 3 {
+		t.Errorf("LowerBound = %g", g.LowerBound())
+	}
+	if math.IsNaN(g.probeCost(0, 0)) || g.probeCost(0, 1) >= g.probeCost(0, 0) {
+		t.Error("cold probe should be cheaper than hot")
+	}
+	// Non-terminating strategies are cut off.
+	res := g.Play(algFunc(func([]Step) (Action, bool) {
+		return Action{Probe: true, Dim: 0, Budget: 1}, false
+	}))
+	if res.Completed {
+		t.Error("endless prober should not complete")
+	}
+	if len(res.Steps) != maxSteps {
+		t.Errorf("expected cutoff at %d steps, got %d", maxSteps, len(res.Steps))
+	}
+}
+
+type algFunc func([]Step) (Action, bool)
+
+func (f algFunc) Next(h []Step) (Action, bool) { return f(h) }

@@ -1,0 +1,173 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// K-best plan enumeration. The paper's evaluation (Sec 6.1) extended
+// PostgreSQL with "a feature that obtains a least cost plan from optimizer
+// which spills on a user-specified epp ... primarily needed for
+// AlignedBound". This file provides that feature: a beam-search variant of
+// the DP that retains the k cheapest alternatives per relation subset, from
+// which BestSpillingOn filters by spill target.
+
+// ScoredPlan pairs a plan with its cost at the enumeration location.
+type ScoredPlan struct {
+	// Plan is the enumerated plan.
+	Plan *plan.Plan
+	// Cost is Cost(Plan, at).
+	Cost float64
+}
+
+// beamEntry is one retained alternative for a subset.
+type beamEntry struct {
+	nc                cost.NodeCost
+	kind              plan.OpKind
+	leftSet, rightSet int
+	leftIdx, rightIdx int
+	joinIDs           []int
+	rel               int
+}
+
+// TopK enumerates up to k alternative plans for the full query at the
+// given location, cheapest first. TopK(at, 1)[0] coincides with
+// Optimize(at). k is clamped to [1, 16].
+func (o *Optimizer) TopK(at cost.Location, k int) []ScoredPlan {
+	if len(at) != o.q.D() {
+		panic(fmt.Sprintf("optimizer: location has %d dims, query has %d epps", len(at), o.q.D()))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	size := 1 << uint(o.n)
+	beams := make([][]beamEntry, size)
+	for r := 0; r < o.n; r++ {
+		s := 1 << uint(r)
+		beams[s] = []beamEntry{{nc: o.model.ScanNC(r), kind: plan.SeqScan, rel: r}}
+	}
+
+	var crossBuf []int
+	for s := 3; s < size; s++ {
+		if bits.OnesCount64(uint64(s)) < 2 {
+			continue
+		}
+		var beam []beamEntry
+		worst := func() float64 {
+			if len(beam) < k {
+				return -1
+			}
+			return beam[len(beam)-1].nc.Total
+		}
+		insert := func(e beamEntry) {
+			if w := worst(); w >= 0 && e.nc.Total >= w {
+				return
+			}
+			pos := sort.Search(len(beam), func(i int) bool { return beam[i].nc.Total > e.nc.Total })
+			beam = append(beam, beamEntry{})
+			copy(beam[pos+1:], beam[pos:])
+			beam[pos] = e
+			if len(beam) > k {
+				beam = beam[:k]
+			}
+		}
+		inS := o.internalJoins[s]
+		for s1 := (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s {
+			s2 := s &^ s1
+			b1, b2 := beams[s1], beams[s2]
+			if len(b1) == 0 || len(b2) == 0 {
+				continue
+			}
+			crossBuf = crossBuf[:0]
+			for _, id := range inS {
+				j := &o.q.Joins[id]
+				if (s1&(1<<uint(j.LeftRel)) != 0) != (s1&(1<<uint(j.RightRel)) != 0) {
+					crossBuf = append(crossBuf, id)
+				}
+			}
+			if len(crossBuf) == 0 {
+				continue
+			}
+			joinIDs := append([]int(nil), crossBuf...)
+			for i1, e1 := range b1 {
+				for i2, e2 := range b2 {
+					consider := func(kind plan.OpKind, l, r cost.NodeCost, innerRel int) {
+						nc := o.model.JoinNC(kind, joinIDs, l, r, innerRel, at)
+						insert(beamEntry{
+							nc: nc, kind: kind,
+							leftSet: s1, rightSet: s2,
+							leftIdx: i1, rightIdx: i2,
+							joinIDs: joinIDs,
+						})
+					}
+					consider(plan.HashJoin, e1.nc, e2.nc, -1)
+					consider(plan.MergeJoin, o.model.SortNC(e1.nc), o.model.SortNC(e2.nc), -1)
+					consider(plan.NestLoop, e1.nc, e2.nc, -1)
+					if bits.OnesCount64(uint64(s2)) == 1 {
+						consider(plan.IndexNestLoop, e1.nc, cost.NodeCost{}, bits.TrailingZeros64(uint64(s2)))
+					}
+				}
+			}
+		}
+		beams[s] = beam
+	}
+
+	full := beams[size-1]
+	out := make([]ScoredPlan, 0, len(full))
+	seen := map[string]bool{}
+	for _, e := range full {
+		root := reconstructBeam(beams, size-1, e)
+		if len(o.q.GroupBy) > 0 {
+			root = &plan.Node{Kind: plan.Aggregate, Rel: -1, Left: root}
+		}
+		p := plan.New(root)
+		if seen[p.Fingerprint()] {
+			continue
+		}
+		seen[p.Fingerprint()] = true
+		total := e.nc.Total
+		if len(o.q.GroupBy) > 0 {
+			total = o.model.AggNC(e.nc).Total
+		}
+		out = append(out, ScoredPlan{Plan: p, Cost: total})
+	}
+	return out
+}
+
+func reconstructBeam(beams [][]beamEntry, set int, e beamEntry) *plan.Node {
+	if e.kind == plan.SeqScan {
+		return &plan.Node{Kind: plan.SeqScan, Rel: e.rel}
+	}
+	left := reconstructBeam(beams, e.leftSet, beams[e.leftSet][e.leftIdx])
+	right := reconstructBeam(beams, e.rightSet, beams[e.rightSet][e.rightIdx])
+	if e.kind == plan.MergeJoin {
+		left = &plan.Node{Kind: plan.Sort, Rel: -1, Left: left}
+		right = &plan.Node{Kind: plan.Sort, Rel: -1, Left: right}
+	}
+	return &plan.Node{Kind: e.kind, Rel: -1, JoinIDs: e.joinIDs, Left: left, Right: right}
+}
+
+// BestSpillingOn returns the cheapest of the k enumerated plans whose
+// spill-node identification (under the learned set) selects the join
+// predicate of ESS dimension dim, together with its cost at the location.
+// ok is false if no such plan is found within the beam.
+func (o *Optimizer) BestSpillingOn(at cost.Location, dim, k int, learned map[int]bool) (ScoredPlan, bool) {
+	epps := o.q.EPPs
+	for _, sp := range o.TopK(at, k) {
+		tgt, has := sp.Plan.SpillTarget(epps, learned)
+		if !has {
+			continue
+		}
+		if d, isEPP := o.q.IsEPP(tgt.JoinID); isEPP && d == dim {
+			return sp, true
+		}
+	}
+	return ScoredPlan{}, false
+}

@@ -1,0 +1,141 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/sqlmini"
+)
+
+func TestTopKFirstMatchesOptimize(t *testing.T) {
+	o := exampleOptimizer(t)
+	for _, at := range []cost.Location{{1e-6, 1e-6}, {1e-3, 1e-4}, {0.5, 0.5}} {
+		p, c := o.Optimize(at)
+		top := o.TopK(at, 4)
+		if len(top) == 0 {
+			t.Fatalf("TopK empty at %v", at)
+		}
+		if math.Abs(top[0].Cost-c)/c > 1e-9 {
+			t.Errorf("at %v: TopK[0] cost %g != optimal %g", at, top[0].Cost, c)
+		}
+		if top[0].Plan.Fingerprint() != p.Fingerprint() {
+			t.Errorf("at %v: TopK[0] plan differs from Optimize", at)
+		}
+	}
+}
+
+func TestTopKSortedAndDistinct(t *testing.T) {
+	o := exampleOptimizer(t)
+	at := cost.Location{1e-4, 1e-3}
+	top := o.TopK(at, 8)
+	if len(top) < 2 {
+		t.Fatalf("expected multiple alternatives, got %d", len(top))
+	}
+	seen := map[string]bool{}
+	for i, sp := range top {
+		if i > 0 && sp.Cost < top[i-1].Cost-1e-9 {
+			t.Errorf("TopK not sorted at %d: %g after %g", i, sp.Cost, top[i-1].Cost)
+		}
+		if seen[sp.Plan.Fingerprint()] {
+			t.Errorf("duplicate plan at %d", i)
+		}
+		seen[sp.Plan.Fingerprint()] = true
+		// Each plan's reported cost must match re-evaluation.
+		if ev := o.Model().Eval(sp.Plan, at); math.Abs(ev-sp.Cost)/sp.Cost > 1e-9 {
+			t.Errorf("plan %d: cost %g != eval %g", i, sp.Cost, ev)
+		}
+	}
+}
+
+func TestTopKClamps(t *testing.T) {
+	o := exampleOptimizer(t)
+	at := cost.Location{1e-4, 1e-3}
+	if got := o.TopK(at, 0); len(got) != 1 {
+		t.Errorf("k=0 should clamp to 1, got %d", len(got))
+	}
+	if got := o.TopK(at, 100); len(got) > 16 {
+		t.Errorf("k=100 should clamp to 16, got %d", len(got))
+	}
+}
+
+func TestTopKPanicsOnDimMismatch(t *testing.T) {
+	o := exampleOptimizer(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	o.TopK(cost.Location{0.5}, 2)
+}
+
+func TestBestSpillingOn(t *testing.T) {
+	o := exampleOptimizer(t)
+	at := cost.Location{1e-3, 1e-3}
+	_, optCost := o.Optimize(at)
+	epps := o.Model().Query.EPPs
+	found := 0
+	for dim := 0; dim < 2; dim++ {
+		sp, ok := o.BestSpillingOn(at, dim, 8, nil)
+		if !ok {
+			continue
+		}
+		found++
+		// The returned plan must indeed spill on the requested dimension.
+		tgt, has := sp.Plan.SpillTarget(epps, nil)
+		if !has {
+			t.Fatalf("dim %d: plan has no spill target", dim)
+		}
+		if d, _ := o.Model().Query.IsEPP(tgt.JoinID); d != dim {
+			t.Errorf("dim %d: plan spills on %d", dim, d)
+		}
+		// Constrained best can never beat the unconstrained optimum.
+		if sp.Cost < optCost-1e-9 {
+			t.Errorf("dim %d: constrained cost %g below optimum %g", dim, sp.Cost, optCost)
+		}
+	}
+	if found == 0 {
+		t.Error("no dimension had a spill-constrained plan within the beam")
+	}
+}
+
+func TestOptimizeWithGroupBy(t *testing.T) {
+	q := sqlmini.MustParse(testCatalog(), `
+		SELECT * FROM part p, lineitem l, orders o
+		WHERE p.p_partkey = l.l_partkey AND l.l_orderkey = o.o_orderkey
+		GROUP BY p.p_retailprice`)
+	if err := q.MarkEPPs("p.p_partkey = l.l_partkey", "l.l_orderkey = o.o_orderkey"); err != nil {
+		t.Fatal(err)
+	}
+	m := cost.MustNewModel(q, cost.PostgresLike())
+	o := MustNew(m)
+	at := cost.Location{1e-4, 1e-4}
+	p, c := o.Optimize(at)
+	if p.Root.Kind != plan.Aggregate {
+		t.Fatalf("root = %v, want Aggregate", p.Root.Kind)
+	}
+	// Cost must equal re-evaluation and exceed the join-only plan.
+	if ev := m.Eval(p, at); math.Abs(ev-c)/c > 1e-9 {
+		t.Errorf("cost %g != eval %g", c, ev)
+	}
+	inner := plan.New(p.Root.Left)
+	if m.Eval(inner, at) >= c {
+		t.Error("aggregate should add cost")
+	}
+	// Aggregated output is capped by the group estimate.
+	tree := m.EvalTree(p, at)
+	if tree[p.Root].Rows > tree[p.Root.Left].Rows {
+		t.Error("aggregate output exceeds its input")
+	}
+	// Spill machinery still works: epps live below the aggregate.
+	if _, ok := p.SpillTarget(q.EPPs, nil); !ok {
+		t.Error("no spill target under the aggregate")
+	}
+	// TopK wraps every alternative too.
+	for _, sp := range o.TopK(at, 4) {
+		if sp.Plan.Root.Kind != plan.Aggregate {
+			t.Fatal("TopK plan missing aggregate root")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package reopt
+
+import (
+	"repro/internal/cost"
+	"repro/internal/ess"
+)
+
+// Rio-style baseline (Babu, Bizarro & DeWitt, SIGMOD 2005): instead of the
+// estimate-optimal plan, pick a *robust* plan by examining the corners of
+// an uncertainty box around the estimate — the plan whose worst-case cost
+// over the corners is least — and run it. The paper's Sec 8 critique:
+// "its definition of plan robustness based solely on the performance at
+// the corners of the ESS has not been validated"; corners say nothing
+// about the interior or about locations outside the box, so no bound
+// exists. This implementation draws candidates from the POSP.
+
+// RioRunner executes the corner-robust baseline over a prebuilt space.
+type RioRunner struct {
+	// Space supplies the candidate plans (POSP) and the cost model.
+	Space *ess.Space
+	// BoxFactor scales the uncertainty box: each epp's selectivity ranges
+	// over [est/BoxFactor, est*BoxFactor], clamped to (0, 1]. Rio's
+	// uncertainty buckets map to a modest factor; default 16.
+	BoxFactor float64
+}
+
+// NewRioRunner returns a RioRunner with the default uncertainty box.
+func NewRioRunner(s *ess.Space) *RioRunner {
+	return &RioRunner{Space: s, BoxFactor: 16}
+}
+
+// ChoosePlan returns the POSP index of the corner-robust plan for the
+// model's statistics estimate.
+func (r *RioRunner) ChoosePlan() int {
+	s := r.Space
+	est := s.Model.EstimateLocation()
+	d := len(est)
+	corners := make([]cost.Location, 0, 1<<uint(d))
+	for mask := 0; mask < 1<<uint(d); mask++ {
+		c := make(cost.Location, d)
+		for j := 0; j < d; j++ {
+			if mask&(1<<uint(j)) != 0 {
+				c[j] = clampSel(est[j] * r.BoxFactor)
+			} else {
+				c[j] = clampSel(est[j] / r.BoxFactor)
+			}
+		}
+		corners = append(corners, c)
+	}
+	bestID, bestWorst := 0, -1.0
+	for id, p := range s.Plans() {
+		worst := 0.0
+		for _, c := range corners {
+			if cst := s.Model.Eval(p, c); cst > worst {
+				worst = cst
+			}
+		}
+		if bestWorst < 0 || worst < bestWorst {
+			bestID, bestWorst = id, worst
+		}
+	}
+	return bestID
+}
+
+// Run executes the corner-robust plan to completion at the true location
+// and returns its cost — Rio's headline behaviour without the mid-flight
+// switching machinery (which shares POP's structure and is covered by
+// Runner).
+func (r *RioRunner) Run(truth cost.Location) float64 {
+	id := r.ChoosePlan()
+	return r.Space.Model.Eval(r.Space.Plans()[id], truth)
+}
+
+func clampSel(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	if v <= 0 {
+		return 1e-12
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package rowexec
+
+import (
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// Adapter exposes the row engine through the engine.Executor interface, so
+// PlanBouquet, SpillBound and AlignedBound can drive real tuple-at-a-time
+// executions instead of the cost-model simulation: budgets are enforced by
+// the work meter, and spill-mode learning comes from counting actual join
+// output rows. This is the closest analogue of the paper's modified
+// PostgreSQL engine.
+type Adapter struct {
+	// E is the underlying row engine.
+	E *Engine
+}
+
+var _ engine.Executor = (*Adapter)(nil)
+
+// Execute runs the plan on real rows under the cost budget.
+func (a *Adapter) Execute(p *plan.Plan, budget float64) engine.Result {
+	res, err := a.E.Run(p, budget)
+	if err != nil {
+		// Non-budget errors surface as incomplete executions charged their
+		// budget; the discovery loops treat them like expiries.
+		return engine.Result{Completed: false, Spent: budget}
+	}
+	return engine.Result{Completed: res.Completed, Spent: res.Spent}
+}
+
+// ExecuteSpill runs the epp subtree on real rows, deriving the learnt
+// selectivity from the observed output count: exact on completion, the
+// partial observation otherwise (a conservative lower bound — output so
+// far over the input cross product).
+func (a *Adapter) ExecuteSpill(p *plan.Plan, dim int, budget float64) (engine.SpillResult, bool) {
+	joinID := a.E.Query.EPPs[dim]
+	if p.FindJoinNode(joinID) == nil {
+		return engine.SpillResult{}, false
+	}
+	res, st, err := a.E.SpillRun(p, dim, budget)
+	if err != nil {
+		return engine.SpillResult{}, false
+	}
+	out := engine.SpillResult{
+		Completed: res.Completed,
+		Spent:     res.Spent,
+	}
+	if res.Completed {
+		out.Learned = ObservedSelectivity(st)
+	} else {
+		// Partial monitoring: the counts accumulated before the budget
+		// expired. Inputs may be partially consumed, so treat the
+		// observation as a lower bound with full input cardinalities.
+		node := subRootStats(res, p, joinID)
+		if node != nil {
+			full := &NodeStats{
+				OutRows:   node.OutRows,
+				LeftRows:  maxInt64(node.LeftRows, 1),
+				RightRows: maxInt64(node.RightRows, 1),
+			}
+			out.Learned = ObservedSelectivity(full)
+		}
+	}
+	return out, true
+}
+
+func subRootStats(res Result, p *plan.Plan, joinID int) *NodeStats {
+	n := p.FindJoinNode(joinID)
+	if n == nil {
+		return nil
+	}
+	return res.Stats[n]
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

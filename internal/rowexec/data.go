@@ -1,0 +1,89 @@
+// Package rowexec is a row-at-a-time (Volcano) execution engine over
+// deterministic synthetic data. The rest of the library simulates execution
+// through the cost model — which is the level at which the paper's theory
+// lives — while this package grounds the model: it generates table rows
+// whose column values follow the catalog's statistics, executes physical
+// plans tuple by tuple with a work meter calibrated to the cost model's
+// constants, enforces cost budgets with forced termination mid-stream, and
+// implements spill-mode execution with run-time selectivity monitoring by
+// actually counting join output rows (paper Secs 3.1.1–3.1.2). Tests use
+// it to validate the cardinality propagation and monitoring semantics the
+// simulated engine relies on.
+package rowexec
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+)
+
+// Value is a synthetic column value. Join keys and filter comparisons
+// operate on int64 domains derived from the catalog statistics.
+type Value = int64
+
+// splitmix64 is a fast deterministic mixer for (row, column) coordinates.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ColumnValue returns the deterministic synthetic value of the column at
+// the given row. With Skew = 0 values are pseudo-uniform over 1..NDV, so
+// two join columns match with probability 1/max(NDV_l, NDV_r) — exactly
+// the statistics-derived selectivity the cost model assumes, which is what
+// lets tests reconcile measured and modeled cardinalities. With Skew > 0
+// the uniform variate is pushed through u^(1+Skew), concentrating mass on
+// the low values (heavy hitters) while NDV stays the same — data on which
+// NDV-based estimators systematically err.
+func ColumnValue(col catalog.Column, row int64) Value {
+	h := splitmix64(uint64(row)*0x9e3779b97f4a7c15 ^ colSeed(col.Name))
+	if col.Skew <= 0 {
+		return 1 + int64(h%uint64(col.Distinct))
+	}
+	u := (float64(h>>11) + 0.5) / (1 << 53)
+	v := 1 + int64(math.Pow(u, 1+col.Skew)*float64(col.Distinct))
+	if v > col.Distinct {
+		v = col.Distinct
+	}
+	return v
+}
+
+// colSeed hashes a column name into a stable seed.
+func colSeed(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// NormalizedValue maps a synthetic value into the column's [Min, Max]
+// range, for comparing against filter literals stated in domain units.
+func NormalizedValue(col catalog.Column, v Value) float64 {
+	if col.Distinct <= 1 {
+		return col.Min
+	}
+	frac := float64(v-1) / float64(col.Distinct-1)
+	return col.Min + frac*(col.Max-col.Min)
+}
+
+// Table binds a catalog table to a row budget: executing at full benchmark
+// cardinalities is pointless for validation, so callers cap the scanned
+// rows (RowCap <= 0 means all).
+type Table struct {
+	// Meta is the catalog table.
+	Meta *catalog.Table
+	// RowCap bounds the generated row count.
+	RowCap int64
+}
+
+// Rows returns the effective cardinality.
+func (t Table) Rows() int64 {
+	if t.RowCap > 0 && t.RowCap < t.Meta.Rows {
+		return t.RowCap
+	}
+	return t.Meta.Rows
+}

@@ -1,0 +1,269 @@
+// Package server exposes the robust query processing library over HTTP —
+// the "automated assistant" deployment direction the paper sketches in its
+// conclusions: a service that owns the expensive offline ESS constructions
+// (Sec 7) and answers per-instance processing requests with guarantees,
+// traces and robustness metrics.
+//
+//	POST /sessions                  {"query":"4D_Q91","gridRes":8}
+//	GET  /sessions/{id}             session metadata + guarantees
+//	POST /sessions/{id}/run         {"algorithm":"spillbound","truth":[0.8,0.008,0.05,0.6]}
+//	GET  /sessions/{id}/sweep?algorithm=spillbound&max=200
+//	GET  /queries                   benchmark query list
+//	GET  /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	repro "repro"
+	"repro/internal/workload"
+)
+
+// Server is the HTTP handler set with its session registry.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+}
+
+type session struct {
+	id    string
+	query string
+	d     int
+	sess  *repro.Session
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{sessions: make(map[string]*session)}
+}
+
+// Handler returns the routed http.Handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("POST /sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("POST /sessions/{id}/run", s.handleRun)
+	mux.HandleFunc("GET /sessions/{id}/sweep", s.handleSweep)
+	return mux
+}
+
+// queryInfo is one /queries entry.
+type queryInfo struct {
+	Name    string `json:"name"`
+	D       int    `json:"d"`
+	Catalog string `json:"catalog"`
+	GridRes int    `json:"gridRes"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	var out []queryInfo
+	for _, sp := range workload.TPCDSQueries() {
+		out = append(out, queryInfo{Name: sp.Name, D: sp.D, Catalog: sp.Catalog, GridRes: sp.GridRes})
+	}
+	for _, sp := range []workload.Spec{workload.Q91(2), workload.JOB1a(), workload.EQ()} {
+		out = append(out, queryInfo{Name: sp.Name, D: sp.D, Catalog: sp.Catalog, GridRes: sp.GridRes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// createRequest is the POST /sessions payload.
+type createRequest struct {
+	// Query names a benchmark query (see /queries).
+	Query string `json:"query"`
+	// GridRes overrides the recommended grid resolution (0 = default).
+	GridRes int `json:"gridRes"`
+	// Profile selects the cost profile: "postgres" (default) or
+	// "commercial".
+	Profile string `json:"profile"`
+}
+
+// sessionInfo describes a built session.
+type sessionInfo struct {
+	ID          string  `json:"id"`
+	Query       string  `json:"query"`
+	D           int     `json:"d"`
+	POSPSize    int     `json:"pospSize"`
+	Contours    int     `json:"contours"`
+	PBGuarantee float64 `json:"pbGuarantee"`
+	SBGuarantee float64 `json:"sbGuarantee"`
+	ABLow       float64 `json:"abGuaranteeLow"`
+	ABHigh      float64 `json:"abGuaranteeHigh"`
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req createRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad payload: %w", err))
+		return
+	}
+	sp, ok := workload.ByName(req.Query)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", req.Query))
+		return
+	}
+	opts := repro.BenchmarkOptions()
+	switch req.Profile {
+	case "", "postgres":
+	case "commercial":
+		opts.Params = repro.CommercialProfile()
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		return
+	}
+	if req.GridRes != 0 {
+		if req.GridRes < 2 || req.GridRes > 64 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gridRes %d outside [2,64]", req.GridRes))
+			return
+		}
+		opts.GridRes = req.GridRes
+	}
+	sess, err := repro.NewBenchmarkSession(sp, opts)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("s%d", s.nextID)
+	entry := &session{id: id, query: sp.Name, d: sess.D(), sess: sess}
+	s.sessions[id] = entry
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, s.info(entry))
+}
+
+func (s *Server) info(e *session) sessionInfo {
+	lo, hi := e.sess.GuaranteeRangeAB()
+	return sessionInfo{
+		ID: e.id, Query: e.query, D: e.d,
+		POSPSize: e.sess.POSPSize(), Contours: e.sess.ContourCount(),
+		PBGuarantee: e.sess.Guarantee(repro.PlanBouquet),
+		SBGuarantee: e.sess.Guarantee(repro.SpillBound),
+		ABLow:       lo, ABHigh: hi,
+	}
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	if e, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, s.info(e))
+	}
+}
+
+// runRequest is the POST /sessions/{id}/run payload.
+type runRequest struct {
+	// Algorithm names the strategy (see repro.ParseAlgorithm).
+	Algorithm string `json:"algorithm"`
+	// Truth is the actual selectivity location (one value per epp).
+	Truth []float64 `json:"truth"`
+}
+
+// runResponse mirrors repro.RunResult for the wire.
+type runResponse struct {
+	Algorithm   string  `json:"algorithm"`
+	TotalCost   float64 `json:"totalCost"`
+	OptimalCost float64 `json:"optimalCost"`
+	SubOpt      float64 `json:"subOpt"`
+	Guarantee   float64 `json:"guarantee,omitempty"`
+	Steps       int     `json:"steps"`
+	Trace       string  `json:"trace"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad payload: %w", err))
+		return
+	}
+	algo, err := repro.ParseAlgorithm(strings.ToLower(req.Algorithm))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := e.sess.Run(algo, repro.Location(req.Truth))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := runResponse{
+		Algorithm: algo.String(), TotalCost: res.TotalCost,
+		OptimalCost: res.OptimalCost, SubOpt: res.SubOpt,
+		Steps: len(res.Steps), Trace: res.Trace,
+	}
+	if g := e.sess.Guarantee(algo); g < 1e300 {
+		resp.Guarantee = g
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// sweepResponse mirrors repro.SweepSummary.
+type sweepResponse struct {
+	Algorithm string    `json:"algorithm"`
+	MSO       float64   `json:"mso"`
+	ASO       float64   `json:"aso"`
+	Locations int       `json:"locations"`
+	Worst     []float64 `json:"worstLocation"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	algo, err := repro.ParseAlgorithm(strings.ToLower(r.URL.Query().Get("algorithm")))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	max := 0
+	if v := r.URL.Query().Get("max"); v != "" {
+		max, err = strconv.Atoi(v)
+		if err != nil || max < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q", v))
+			return
+		}
+	}
+	sum, err := e.sess.Sweep(algo, max)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sweepResponse{
+		Algorithm: algo.String(), MSO: sum.MSO, ASO: sum.ASO,
+		Locations: sum.Locations, Worst: sum.WorstLocation,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New().Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url string, payload any) (*http.Response, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	ts := testServer(t)
+	var out map[string]string
+	resp := getJSON(t, ts.URL+"/healthz", &out)
+	if resp.StatusCode != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestQueriesList(t *testing.T) {
+	ts := testServer(t)
+	var out []map[string]any
+	resp := getJSON(t, ts.URL+"/queries", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	names := map[string]bool{}
+	for _, q := range out {
+		names[q["name"].(string)] = true
+	}
+	for _, want := range []string{"4D_Q91", "JOB_1a", "2D_EQ", "2D_Q91"} {
+		if !names[want] {
+			t.Errorf("missing %s in /queries", want)
+		}
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := testServer(t)
+	resp, created := postJSON(t, ts.URL+"/sessions", map[string]any{
+		"query": "2D_EQ", "gridRes": 8,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d: %v", resp.StatusCode, created)
+	}
+	id := created["id"].(string)
+	if created["sbGuarantee"].(float64) != 10 {
+		t.Errorf("sbGuarantee = %v", created["sbGuarantee"])
+	}
+	if created["d"].(float64) != 2 {
+		t.Errorf("d = %v", created["d"])
+	}
+
+	// Fetch it back.
+	var info map[string]any
+	if r := getJSON(t, ts.URL+"/sessions/"+id, &info); r.StatusCode != http.StatusOK {
+		t.Fatalf("get session status %d", r.StatusCode)
+	}
+	if info["query"] != "2D_EQ" {
+		t.Errorf("query = %v", info["query"])
+	}
+
+	// Run SpillBound.
+	resp, run := postJSON(t, ts.URL+"/sessions/"+id+"/run", map[string]any{
+		"algorithm": "spillbound", "truth": []float64{0.001, 0.0005},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %v", resp.StatusCode, run)
+	}
+	subOpt := run["subOpt"].(float64)
+	if subOpt < 1 || subOpt > 10 {
+		t.Errorf("subOpt = %v, want within (1,10]", subOpt)
+	}
+	if !strings.Contains(run["trace"].(string), "IC") {
+		t.Errorf("trace missing contours: %v", run["trace"])
+	}
+
+	// Sweep.
+	var sweep map[string]any
+	if r := getJSON(t, fmt.Sprintf("%s/sessions/%s/sweep?algorithm=alignedbound&max=20", ts.URL, id), &sweep); r.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %v", r.StatusCode, sweep)
+	}
+	if sweep["mso"].(float64) > 10 {
+		t.Errorf("AB sweep MSO %v above bound", sweep["mso"])
+	}
+	if sweep["locations"].(float64) != 20 {
+		t.Errorf("locations = %v", sweep["locations"])
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := testServer(t)
+	cases := []struct {
+		method, path string
+		payload      any
+		wantStatus   int
+	}{
+		{"POST", "/sessions", map[string]any{"query": "NOPE"}, http.StatusNotFound},
+		{"POST", "/sessions", map[string]any{"query": "2D_EQ", "gridRes": 1}, http.StatusBadRequest},
+		{"POST", "/sessions", map[string]any{"query": "2D_EQ", "profile": "oracle"}, http.StatusBadRequest},
+		{"GET", "/sessions/zzz", nil, http.StatusNotFound},
+		{"POST", "/sessions/zzz/run", map[string]any{"algorithm": "spillbound", "truth": []float64{0.5, 0.5}}, http.StatusNotFound},
+		{"GET", "/sessions/zzz/sweep?algorithm=spillbound", nil, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var resp *http.Response
+		if tc.method == "POST" {
+			resp, _ = postJSON(t, ts.URL+tc.path, tc.payload)
+		} else {
+			var out map[string]any
+			resp = getJSON(t, ts.URL+tc.path, &out)
+		}
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.wantStatus)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]any{"query": "2D_EQ", "gridRes": 6})
+	id := created["id"].(string)
+	cases := []map[string]any{
+		{"algorithm": "teleport", "truth": []float64{0.5, 0.5}},
+		{"algorithm": "spillbound", "truth": []float64{0.5}},
+		{"algorithm": "spillbound", "truth": []float64{0.5, 2.0}},
+	}
+	for _, payload := range cases {
+		resp, body := postJSON(t, ts.URL+"/sessions/"+id+"/run", payload)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("payload %v: status %d (%v)", payload, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestNativeRunHasNoGuaranteeField(t *testing.T) {
+	ts := testServer(t)
+	_, created := postJSON(t, ts.URL+"/sessions", map[string]any{"query": "2D_EQ", "gridRes": 6})
+	id := created["id"].(string)
+	resp, run := postJSON(t, ts.URL+"/sessions/"+id+"/run", map[string]any{
+		"algorithm": "native", "truth": []float64{0.01, 0.01},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, run)
+	}
+	if _, present := run["guarantee"]; present {
+		t.Error("native run should omit the guarantee field")
+	}
+}

@@ -1,0 +1,229 @@
+// Package spillbound implements the SpillBound algorithm (paper Sec 4),
+// the core contribution: contour-wise selectivity discovery in which, on
+// each contour and for each unlearned error-prone predicate e_j, the plan
+// P^j_max offering the maximal guaranteed learning along dimension j is
+// executed in spill-mode under the contour budget. Half-space pruning
+// (Lemma 3.1) and contour-density-independent execution (Lemma 3.2/4.3)
+// yield the platform-independent guarantee MSO <= D² + 3D (Theorem 4.5).
+package spillbound
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bouquet"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/ess"
+)
+
+// Guarantee returns SpillBound's structural MSO bound D²+3D (Theorem 4.5),
+// computable by query inspection alone.
+func Guarantee(d int) float64 { return float64(d*d + 3*d) }
+
+// Execution records one budgeted execution performed by SpillBound: a
+// spill-mode execution on some dimension, or a regular execution during the
+// terminal 1-D PlanBouquet phase.
+type Execution struct {
+	// Contour is the contour index explored.
+	Contour int
+	// Dim is the ESS dimension spilled on, or -1 for a regular execution.
+	Dim int
+	// PlanID is the executed plan's POSP index.
+	PlanID int
+	// CellLoc is the contour location whose plan was chosen.
+	CellLoc cost.Location
+	// Budget and Spent are the assigned and charged costs.
+	Budget, Spent float64
+	// Completed reports full completion (of the subtree for spills, of the
+	// query for regular executions).
+	Completed bool
+	// Learned is the selectivity information gained on Dim (exact value or
+	// monitoring lower bound); zero for regular executions.
+	Learned float64
+	// Repeat marks a repeat execution: the dimension had already been
+	// spilled on this contour, and its P^j_max changed after another epp
+	// was fully learnt (paper Sec 4.2).
+	Repeat bool
+}
+
+// String renders the execution in the paper's trace notation (lowercase p
+// for spill-mode).
+func (x Execution) String() string {
+	if x.Dim < 0 {
+		mark := "✗"
+		if x.Completed {
+			mark = "✓"
+		}
+		return fmt.Sprintf("IC%d: P%d|%.4g %s", x.Contour+1, x.PlanID, x.Budget, mark)
+	}
+	tag := ""
+	if x.Repeat {
+		tag = " (repeat)"
+	}
+	return fmt.Sprintf("IC%d: p%d|%.4g spill dim %d → %.3g%s",
+		x.Contour+1, x.PlanID, x.Budget, x.Dim, x.Learned, tag)
+}
+
+// Outcome is a full SpillBound run.
+type Outcome struct {
+	// Executions lists every budgeted execution in order.
+	Executions []Execution
+	// TotalCost is the summed charged cost — the numerator of Eq. (3).
+	TotalCost float64
+	// Completed reports whether the query finished (always true under PCM).
+	Completed bool
+	// LearnedSel holds the exact selectivities discovered, indexed by
+	// dimension; entries for dimensions resolved by the terminal 1-D phase
+	// are the phase's implicit discovery and remain NaN-free only when
+	// individually learnt.
+	LearnedSel map[int]float64
+}
+
+// Trace renders the execution list, one line each.
+func (o Outcome) Trace() string {
+	var b strings.Builder
+	for _, x := range o.Executions {
+		b.WriteString(x.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner executes SpillBound over a prebuilt ESS.
+type Runner struct {
+	// Space is the explored ESS.
+	Space *ess.Space
+	// Ratio is the contour cost ratio (the paper's default doubling).
+	Ratio float64
+}
+
+// NewRunner returns a Runner with the paper's default cost-doubling
+// contours.
+func NewRunner(s *ess.Space) *Runner {
+	return &Runner{Space: s, Ratio: ess.CostDoublingRatio}
+}
+
+// maxCell identifies q^j_max and P^j_max for dimension dim on the contour
+// cells (paper Sec 3.2): among the cells whose optimal plan spills on dim
+// (under the learned set), the one with the maximum dim-coordinate.
+// ok is false when no contour plan spills on the dimension.
+func (r *Runner) maxCell(cells []int, dim int, learned map[int]bool) (cell int, ok bool) {
+	s := r.Space
+	epps := s.Query.EPPs
+	bestCoord := -1
+	for _, ci := range cells {
+		p := s.PlanAt(ci)
+		tgt, has := p.SpillTarget(epps, learned)
+		if !has {
+			continue
+		}
+		d, isEPP := s.Query.IsEPP(tgt.JoinID)
+		if !isEPP || d != dim {
+			continue
+		}
+		if c := s.Grid.Coord(ci, dim); c > bestCoord {
+			bestCoord = c
+			cell = ci
+		}
+	}
+	return cell, bestCoord >= 0
+}
+
+// Run performs SpillBound discovery against the engine's hidden true
+// location and returns the full outcome (Algorithm 1).
+func (r *Runner) Run(e engine.Executor) Outcome {
+	s := r.Space
+	g := s.Grid
+	costs := s.ContourCosts(r.Ratio)
+	learned := make(map[int]bool)       // by join ID (plan.SpillTarget keys)
+	learnedDim := make(map[int]bool)    // by ESS dimension
+	learnedSel := make(map[int]float64) // by ESS dimension
+	sub := s.Full()
+	out := Outcome{LearnedSel: learnedSel}
+
+	// spilledOnContour tracks which dimensions already had a spill on the
+	// current contour, to label repeat executions.
+	spilledOnContour := make(map[int]bool)
+	contourOfSpills := -1
+
+	for i := 0; i < len(costs); {
+		free := sub.FreeDims()
+		if len(free) == 1 {
+			// Terminal 1-D phase: plain PlanBouquet over the remaining
+			// dimension, starting from the current contour, in regular
+			// (non-spill) mode — spilling in 1-D weakens the bound.
+			tail := bouquet.RunSubspace(s, s, e, costs, i, sub, 1)
+			for _, st := range tail.Steps {
+				out.Executions = append(out.Executions, Execution{
+					Contour: st.Contour, Dim: -1, PlanID: st.PlanID,
+					Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
+				})
+			}
+			out.TotalCost += tail.TotalCost
+			out.Completed = tail.Completed
+			return out
+		}
+
+		if i != contourOfSpills {
+			contourOfSpills = i
+			spilledOnContour = make(map[int]bool)
+		}
+
+		cells := sub.ContourCellsCached(costs[i])
+		if len(cells) == 0 {
+			i++
+			continue
+		}
+		progressed := false
+		for _, dim := range free {
+			cell, ok := r.maxCell(cells, dim, learned)
+			if !ok {
+				continue // no contour plan spills on this epp: skip it
+			}
+			p := s.PlanAt(cell)
+			res, ok := e.ExecuteSpill(p, dim, costs[i])
+			if !ok {
+				continue
+			}
+			x := Execution{
+				Contour: i, Dim: dim, PlanID: s.PlanIDAt(cell),
+				CellLoc: g.Location(cell), Budget: costs[i],
+				Spent: res.Spent, Completed: res.Completed, Learned: res.Learned,
+				Repeat: spilledOnContour[dim],
+			}
+			spilledOnContour[dim] = true
+			out.Executions = append(out.Executions, x)
+			out.TotalCost += res.Spent
+			if res.Completed {
+				// Selectivity fully learnt: restrict the effective search
+				// space and re-explore the same contour with the reduced
+				// EPP set (Algorithm 1's break).
+				learned[s.Query.EPPs[dim]] = true
+				learnedDim[dim] = true
+				learnedSel[dim] = res.Learned
+				sub = sub.Fix(dim, g.CeilIndex(dim, res.Learned))
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			i++ // quantum progress: jump to the next contour (Lemma 4.3)
+		}
+	}
+
+	// Unreachable under PCM (the final contour's spills complete, reducing
+	// to the 1-D phase); kept as a defensive fallback mirroring
+	// bouquet.RunSubspace's guard.
+	ci := sub.MaxCorner()
+	p := s.PlanAt(ci)
+	res := e.Execute(p, math.Inf(1))
+	out.Executions = append(out.Executions, Execution{
+		Contour: len(costs) - 1, Dim: -1, PlanID: s.PlanIDAt(ci),
+		Budget: res.Spent, Spent: res.Spent, Completed: true,
+	})
+	out.TotalCost += res.Spent
+	out.Completed = true
+	return out
+}

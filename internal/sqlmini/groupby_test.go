@@ -1,0 +1,72 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseGroupBy(t *testing.T) {
+	q, err := Parse(testCatalog(), `
+		SELECT p_type FROM part p, lineitem l
+		WHERE p.p_partkey = l.l_partkey
+		GROUP BY p.p_type, l.l_quantity`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.GroupBy) != 2 {
+		t.Fatalf("GroupBy = %v", q.GroupBy)
+	}
+	if q.GroupBy[0].String() != "p.p_type" || q.GroupBy[1].String() != "l.l_quantity" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseGroupByUnqualified(t *testing.T) {
+	q, err := Parse(testCatalog(), `
+		SELECT * FROM part p, lineitem l
+		WHERE p.p_partkey = l.l_partkey
+		GROUP BY p_type`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Alias != "p" {
+		t.Errorf("GroupBy = %v", q.GroupBy)
+	}
+}
+
+func TestParseGroupByErrors(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT * FROM part p GROUP p.p_type", "expected BY"},
+		{"SELECT * FROM part p GROUP BY p.nope", "no column"},
+		{"SELECT * FROM part p GROUP BY nada", "unknown column"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(testCatalog(), tc.sql); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", tc.sql, err, tc.want)
+		}
+	}
+}
+
+// TestLexerNeverPanics drives the lexer over adversarial inputs; errors are
+// fine, panics are not.
+func TestLexerNeverPanics(t *testing.T) {
+	inputs := []string{
+		"", " ", "'", "''", "-", "--", "1.2.3", "1e", "1e-", "a.b.c.d",
+		"SELECT * FROM part WHERE x = 'unterminated", "\x00\x01\x02",
+		"💥 SELECT", "SELECT * FROM part WHERE p_size = 1e+",
+		strings.Repeat("(", 1000), strings.Repeat("a.", 500),
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("lexer/parser panicked on %q: %v", in, r)
+				}
+			}()
+			_, _ = Parse(testCatalog(), in)
+		}()
+	}
+}

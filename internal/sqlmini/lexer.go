@@ -1,0 +1,179 @@
+// Package sqlmini implements the small SQL dialect used by the workload:
+// select-project-join(-aggregate) queries of the form
+//
+//	SELECT <cols|*> FROM t1 [AS] a1 [, t2 a2 | JOIN t2 a2 ON a1.x = a2.y] ...
+//	WHERE a1.x = a2.y AND a1.z < 100 AND a2.w BETWEEN 1 AND 5 AND ...
+//	GROUP BY a1.g, a2.h
+//
+// Parsing and binding produce a *query.Query against a catalog. Only
+// conjunctive predicates are supported: equality joins between columns, and
+// single-column filters with =, <>, <, <=, >, >=, BETWEEN and IN. GROUP BY
+// adds a hash-aggregate root to every plan; aggregate expressions in the
+// projection are accepted syntactically as plain columns and ignored (the
+// robustness machinery consumes cardinalities, not values).
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators: , ( ) * = <> < <= > >= .
+	tokKeyword // SELECT FROM WHERE AND AS BETWEEN IN
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"AS": true, "BETWEEN": true, "IN": true,
+	"JOIN": true, "INNER": true, "ON": true,
+	"GROUP": true, "BY": true,
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// lexer splits an input string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+// next returns the following token, or an error for malformed input.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	ch := l.src[l.pos]
+	switch {
+	case isIdentStart(ch):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	case ch >= '0' && ch <= '9' || ch == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot := false
+		for l.pos < len(l.src) {
+			c := l.src[l.pos]
+			if c == '.' {
+				if seenDot {
+					break
+				}
+				// A dot not followed by a digit terminates the number
+				// (it is a qualifier dot, though numbers are never
+				// qualified in practice).
+				if l.pos+1 >= len(l.src) || l.src[l.pos+1] < '0' || l.src[l.pos+1] > '9' {
+					break
+				}
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if c < '0' || c > '9' {
+				if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) && (isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+					l.pos += 2
+					for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+						l.pos++
+					}
+				}
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case ch == '\'':
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return token{}, fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+		}
+		text := l.src[start+1 : l.pos]
+		l.pos++
+		return token{kind: tokString, text: text, pos: start}, nil
+	case ch == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case ch == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case ch == '-':
+		// Negative numeric literal.
+		if l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]) {
+			l.pos++
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+				l.pos++
+			}
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlmini: unexpected '-' at offset %d", start)
+	case strings.ContainsRune(",()*=.;", rune(ch)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(ch), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlmini: unexpected character %q at offset %d", ch, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// lexAll tokenizes the whole input, returning the token stream without the
+// trailing EOF token.
+func lexAll(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

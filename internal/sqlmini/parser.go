@@ -1,0 +1,404 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Parse parses and binds an SPJ query against the catalog, returning the
+// bound query. The projection list is accepted but ignored — the robust
+// processing algorithms are driven by the join graph and predicates.
+func Parse(cat *catalog.Catalog, sql string) (*query.Query, error) {
+	toks, err := lexAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{cat: cat, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for use in the built-in workload
+// definitions, where a parse failure is a bug.
+func MustParse(cat *catalog.Catalog, sql string) *query.Query {
+	q, err := Parse(cat, sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	cat  *catalog.Catalog
+	toks []token
+	i    int
+	q    *query.Query
+}
+
+func (p *parser) peek() token {
+	if p.i >= len(p.toks) {
+		return token{kind: tokEOF}
+	}
+	return p.toks[p.i]
+}
+
+func (p *parser) advance() token {
+	t := p.peek()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("sqlmini: expected %s, found %s", kw, t)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.advance()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("sqlmini: expected %q, found %s", sym, t)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*query.Query, error) {
+	p.q = &query.Query{}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.parseFromList(); err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind == tokKeyword && t.text == "WHERE" {
+		p.advance()
+		if err := p.parsePredicates(); err != nil {
+			return nil, err
+		}
+	}
+	if t := p.peek(); t.kind == tokKeyword && t.text == "GROUP" {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			ref, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			p.q.GroupBy = append(p.q.GroupBy, ref)
+			if n := p.peek(); n.kind == tokSymbol && n.text == "," {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if t := p.peek(); t.kind == tokSymbol && t.text == ";" {
+		p.advance()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sqlmini: trailing input at %s", t)
+	}
+	return p.q, nil
+}
+
+// parseSelectList consumes the projection list. Entries are either *,
+// identifiers, or qualified names; they are validated lazily by binding and
+// otherwise ignored.
+func (p *parser) parseSelectList() error {
+	for {
+		t := p.advance()
+		switch {
+		case t.kind == tokSymbol && t.text == "*":
+		case t.kind == tokIdent:
+			// Optional qualifier.
+			if n := p.peek(); n.kind == tokSymbol && n.text == "." {
+				p.advance()
+				if c := p.advance(); c.kind != tokIdent {
+					return fmt.Errorf("sqlmini: expected column after %q., found %s", t.text, c)
+				}
+			}
+		default:
+			return fmt.Errorf("sqlmini: expected projection item, found %s", t)
+		}
+		if n := p.peek(); n.kind == tokSymbol && n.text == "," {
+			p.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseFromList() error {
+	if err := p.parseTableRef(); err != nil {
+		return err
+	}
+	for {
+		n := p.peek()
+		switch {
+		case n.kind == tokSymbol && n.text == ",":
+			p.advance()
+			if err := p.parseTableRef(); err != nil {
+				return err
+			}
+		case n.kind == tokKeyword && (n.text == "JOIN" || n.text == "INNER"):
+			// [INNER] JOIN tableRef ON predicate (AND predicate)*
+			p.advance()
+			if n.text == "INNER" {
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return err
+				}
+			}
+			if err := p.parseTableRef(); err != nil {
+				return err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return err
+			}
+			if err := p.parsePredicate(); err != nil {
+				return err
+			}
+			for {
+				if t := p.peek(); t.kind == tokKeyword && t.text == "AND" {
+					// Only consume the AND if another ON-clause predicate
+					// follows; a WHERE keyword ends the join condition.
+					p.advance()
+					if err := p.parsePredicate(); err != nil {
+						return err
+					}
+					continue
+				}
+				break
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// parseTableRef parses one FROM entry: table [AS] [alias].
+func (p *parser) parseTableRef() error {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return fmt.Errorf("sqlmini: expected table name, found %s", t)
+	}
+	tab, ok := p.cat.Table(t.text)
+	if !ok {
+		return fmt.Errorf("sqlmini: unknown table %q", t.text)
+	}
+	alias := tab.Name
+	if n := p.peek(); n.kind == tokKeyword && n.text == "AS" {
+		p.advance()
+		a := p.advance()
+		if a.kind != tokIdent {
+			return fmt.Errorf("sqlmini: expected alias after AS, found %s", a)
+		}
+		alias = a.text
+	} else if n.kind == tokIdent {
+		p.advance()
+		alias = n.text
+	}
+	p.q.Relations = append(p.q.Relations, query.Relation{Alias: alias, Table: tab})
+	return nil
+}
+
+func (p *parser) parsePredicates() error {
+	for {
+		if err := p.parsePredicate(); err != nil {
+			return err
+		}
+		if t := p.peek(); t.kind == tokKeyword && t.text == "AND" {
+			p.advance()
+			continue
+		}
+		return nil
+	}
+}
+
+// parseColumnRef parses ident[.ident] into a ColumnRef, resolving an
+// unqualified column to the unique relation declaring it.
+func (p *parser) parseColumnRef() (query.ColumnRef, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return query.ColumnRef{}, fmt.Errorf("sqlmini: expected column reference, found %s", t)
+	}
+	if n := p.peek(); n.kind == tokSymbol && n.text == "." {
+		p.advance()
+		c := p.advance()
+		if c.kind != tokIdent {
+			return query.ColumnRef{}, fmt.Errorf("sqlmini: expected column after %q., found %s", t.text, c)
+		}
+		ref := query.ColumnRef{Alias: t.text, Column: c.text}
+		if err := p.checkRef(ref); err != nil {
+			return query.ColumnRef{}, err
+		}
+		return ref, nil
+	}
+	// Unqualified: find the unique owning relation.
+	var owner string
+	for _, r := range p.q.Relations {
+		if r.Table.HasColumn(t.text) {
+			if owner != "" {
+				return query.ColumnRef{}, fmt.Errorf("sqlmini: column %q is ambiguous (in %q and %q)", t.text, owner, r.Alias)
+			}
+			owner = r.Alias
+		}
+	}
+	if owner == "" {
+		return query.ColumnRef{}, fmt.Errorf("sqlmini: unknown column %q", t.text)
+	}
+	return query.ColumnRef{Alias: owner, Column: t.text}, nil
+}
+
+func (p *parser) checkRef(ref query.ColumnRef) error {
+	for _, r := range p.q.Relations {
+		if strings.EqualFold(r.Alias, ref.Alias) {
+			if !r.Table.HasColumn(ref.Column) {
+				return fmt.Errorf("sqlmini: table %q (alias %q) has no column %q", r.Table.Name, r.Alias, ref.Column)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("sqlmini: unknown alias %q", ref.Alias)
+}
+
+func (p *parser) parsePredicate() error {
+	lhs, err := p.parseColumnRef()
+	if err != nil {
+		return err
+	}
+	t := p.advance()
+	switch {
+	case t.kind == tokSymbol && t.text == "=":
+		// Join predicate if the RHS is a column reference; filter otherwise.
+		if n := p.peek(); n.kind == tokIdent {
+			rhs, err := p.parseColumnRef()
+			if err != nil {
+				return err
+			}
+			p.q.Joins = append(p.q.Joins, query.Join{ID: len(p.q.Joins), Left: lhs, Right: rhs})
+			return nil
+		}
+		return p.finishFilter(lhs, query.OpEq, 1)
+	case t.kind == tokSymbol:
+		op, ok := map[string]query.FilterOp{
+			"<>": query.OpNe, "<": query.OpLt, "<=": query.OpLe,
+			">": query.OpGt, ">=": query.OpGe,
+		}[t.text]
+		if !ok {
+			return fmt.Errorf("sqlmini: unexpected operator %s", t)
+		}
+		return p.finishFilter(lhs, op, 1)
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		lo, loText, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi, hiText, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		p.q.Filters = append(p.q.Filters, query.Filter{
+			ID: len(p.q.Filters), Col: lhs, Op: query.OpBetween,
+			Args: []float64{lo, hi},
+			Text: fmt.Sprintf("%s BETWEEN %s AND %s", lhs, loText, hiText),
+		})
+		return nil
+	case t.kind == tokKeyword && t.text == "IN":
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		var args []float64
+		var texts []string
+		for {
+			v, txt, err := p.parseLiteral()
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+			texts = append(texts, txt)
+			n := p.advance()
+			if n.kind == tokSymbol && n.text == "," {
+				continue
+			}
+			if n.kind == tokSymbol && n.text == ")" {
+				break
+			}
+			return fmt.Errorf("sqlmini: expected ',' or ')' in IN list, found %s", n)
+		}
+		p.q.Filters = append(p.q.Filters, query.Filter{
+			ID: len(p.q.Filters), Col: lhs, Op: query.OpIn, Args: args,
+			Text: fmt.Sprintf("%s IN (%s)", lhs, strings.Join(texts, ", ")),
+		})
+		return nil
+	default:
+		return fmt.Errorf("sqlmini: expected comparison after %s, found %s", lhs, t)
+	}
+}
+
+// finishFilter parses nargs literals and appends a filter predicate.
+func (p *parser) finishFilter(col query.ColumnRef, op query.FilterOp, nargs int) error {
+	args := make([]float64, 0, nargs)
+	texts := make([]string, 0, nargs)
+	for k := 0; k < nargs; k++ {
+		v, txt, err := p.parseLiteral()
+		if err != nil {
+			return err
+		}
+		args = append(args, v)
+		texts = append(texts, txt)
+	}
+	p.q.Filters = append(p.q.Filters, query.Filter{
+		ID: len(p.q.Filters), Col: col, Op: op, Args: args,
+		Text: fmt.Sprintf("%s %s %s", col, op, strings.Join(texts, ", ")),
+	})
+	return nil
+}
+
+// parseLiteral consumes a numeric or string literal. String literals bind
+// to a stable surrogate hash so equality-style selectivity estimation (which
+// only consults NDVs) works without a value domain.
+func (p *parser) parseLiteral() (float64, string, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNumber:
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return 0, "", fmt.Errorf("sqlmini: bad number %q: %v", t.text, err)
+		}
+		return v, t.text, nil
+	case tokString:
+		var h uint32 = 2166136261
+		for i := 0; i < len(t.text); i++ {
+			h ^= uint32(t.text[i])
+			h *= 16777619
+		}
+		return float64(h % 1000003), "'" + t.text + "'", nil
+	default:
+		return 0, "", fmt.Errorf("sqlmini: expected literal, found %s", t)
+	}
+}

@@ -1,0 +1,286 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+func testCatalog() *catalog.Catalog {
+	c := catalog.New("test")
+	c.MustAddTable(&catalog.Table{
+		Name: "part", Rows: 1000, RowBytes: 100,
+		Columns: []catalog.Column{
+			{Name: "p_partkey", Distinct: 1000, Min: 1, Max: 1000},
+			{Name: "p_retailprice", Distinct: 500, Min: 0, Max: 2000},
+			{Name: "p_type", Distinct: 10, Min: 1, Max: 10},
+		},
+	})
+	c.MustAddTable(&catalog.Table{
+		Name: "lineitem", Rows: 100000, RowBytes: 120,
+		Columns: []catalog.Column{
+			{Name: "l_partkey", Distinct: 1000, Min: 1, Max: 1000},
+			{Name: "l_orderkey", Distinct: 25000, Min: 1, Max: 25000},
+			{Name: "l_quantity", Distinct: 50, Min: 1, Max: 50},
+		},
+	})
+	c.MustAddTable(&catalog.Table{
+		Name: "orders", Rows: 25000, RowBytes: 80,
+		Columns: []catalog.Column{
+			{Name: "o_orderkey", Distinct: 25000, Min: 1, Max: 25000},
+			{Name: "o_status", Distinct: 3, Min: 1, Max: 3},
+		},
+	})
+	return c
+}
+
+// exampleQuery is the paper's example query EQ (Fig. 1).
+const exampleQuery = `
+SELECT * FROM part p, lineitem l, orders o
+WHERE p.p_partkey = l.l_partkey AND l.l_orderkey = o.o_orderkey
+AND p.p_retailprice < 1000`
+
+func TestParseExampleQuery(t *testing.T) {
+	q, err := Parse(testCatalog(), exampleQuery)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Relations) != 3 {
+		t.Fatalf("relations = %d, want 3", len(q.Relations))
+	}
+	if q.Relations[0].Alias != "p" || q.Relations[0].Table.Name != "part" {
+		t.Errorf("relation[0] = %q/%q", q.Relations[0].Alias, q.Relations[0].Table.Name)
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(q.Joins))
+	}
+	if got := q.Joins[0].String(); got != "p.p_partkey = l.l_partkey" {
+		t.Errorf("join[0] = %q", got)
+	}
+	if len(q.Filters) != 1 {
+		t.Fatalf("filters = %d, want 1", len(q.Filters))
+	}
+	f := q.Filters[0]
+	if f.Op != query.OpLt || f.Args[0] != 1000 {
+		t.Errorf("filter = %v %v", f.Op, f.Args)
+	}
+}
+
+func TestParseAliasForms(t *testing.T) {
+	cat := testCatalog()
+	for _, sql := range []string{
+		"SELECT * FROM part AS p, lineitem AS l WHERE p.p_partkey = l.l_partkey",
+		"SELECT * FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey",
+		"SELECT * FROM part, lineitem WHERE part.p_partkey = lineitem.l_partkey",
+	} {
+		q, err := Parse(cat, sql)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", sql, err)
+			continue
+		}
+		if len(q.Joins) != 1 {
+			t.Errorf("Parse(%q): joins = %d", sql, len(q.Joins))
+		}
+	}
+}
+
+func TestParseUnqualifiedColumns(t *testing.T) {
+	q, err := Parse(testCatalog(), `
+		SELECT p_partkey FROM part, lineitem
+		WHERE p_partkey = l_partkey AND l_quantity >= 10`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Joins[0].Left.Alias != "part" || q.Joins[0].Right.Alias != "lineitem" {
+		t.Errorf("join binding = %v", q.Joins[0])
+	}
+	if q.Filters[0].Col.Alias != "lineitem" {
+		t.Errorf("filter binding = %v", q.Filters[0].Col)
+	}
+}
+
+func TestParseFilterOperators(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		where string
+		op    query.FilterOp
+		nargs int
+	}{
+		{"l.l_quantity = 5", query.OpEq, 1},
+		{"l.l_quantity <> 5", query.OpNe, 1},
+		{"l.l_quantity < 5", query.OpLt, 1},
+		{"l.l_quantity <= 5", query.OpLe, 1},
+		{"l.l_quantity > 5", query.OpGt, 1},
+		{"l.l_quantity >= 5", query.OpGe, 1},
+		{"l.l_quantity BETWEEN 5 AND 10", query.OpBetween, 2},
+		{"l.l_quantity IN (1, 2, 3)", query.OpIn, 3},
+	}
+	for _, tc := range cases {
+		sql := "SELECT * FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey AND " + tc.where
+		q, err := Parse(cat, sql)
+		if err != nil {
+			t.Errorf("Parse(%s): %v", tc.where, err)
+			continue
+		}
+		if len(q.Filters) != 1 {
+			t.Errorf("%s: filters = %d", tc.where, len(q.Filters))
+			continue
+		}
+		f := q.Filters[0]
+		if f.Op != tc.op || len(f.Args) != tc.nargs {
+			t.Errorf("%s: parsed op=%v args=%v", tc.where, f.Op, f.Args)
+		}
+	}
+}
+
+func TestParseStringLiteral(t *testing.T) {
+	q, err := Parse(testCatalog(), `
+		SELECT * FROM part p, lineitem l
+		WHERE p.p_partkey = l.l_partkey AND p.p_type = 'BRASS'`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Filters) != 1 || q.Filters[0].Op != query.OpEq {
+		t.Fatalf("filters = %+v", q.Filters)
+	}
+	if !strings.Contains(q.Filters[0].Text, "'BRASS'") {
+		t.Errorf("filter text = %q, want string literal preserved", q.Filters[0].Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"FROM part", "expected SELECT"},
+		{"SELECT * part", "expected FROM"},
+		{"SELECT * FROM nothere", "unknown table"},
+		{"SELECT * FROM part p WHERE p.nope = 1", "no column"},
+		{"SELECT * FROM part p, lineitem l WHERE p_partkey = nosuch", "unknown column"},
+		{"SELECT * FROM part p, lineitem l WHERE x.p_partkey = l.l_partkey", "unknown alias"},
+		{"SELECT * FROM part p, part q WHERE p.p_partkey = q.p_partkey AND p_type = 1", "ambiguous"},
+		{"SELECT * FROM part p WHERE p.p_partkey BETWEEN 1", "expected AND"},
+		{"SELECT * FROM part p WHERE p.p_partkey IN (1, 2", "expected ',' or ')'"},
+		{"SELECT * FROM part p WHERE p.p_partkey = 'abc", "unterminated string"},
+		{"SELECT * FROM part p, lineitem l", "disconnected"},
+		{"SELECT * FROM part p WHERE p.p_partkey = 1 EXTRA", "trailing input"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(cat, tc.sql)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", tc.sql, err, tc.want)
+		}
+	}
+}
+
+func TestParseNumericForms(t *testing.T) {
+	cat := testCatalog()
+	q, err := Parse(cat, `SELECT * FROM part p WHERE p.p_retailprice BETWEEN -1.5 AND 2e3`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	f := q.Filters[0]
+	if f.Args[0] != -1.5 || f.Args[1] != 2000 {
+		t.Errorf("args = %v, want [-1.5 2000]", f.Args)
+	}
+}
+
+func TestSingleTableQuery(t *testing.T) {
+	q, err := Parse(testCatalog(), "SELECT * FROM part")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Relations) != 1 || len(q.Joins) != 0 {
+		t.Errorf("got %d relations, %d joins", len(q.Relations), len(q.Joins))
+	}
+}
+
+func TestMarkEPPs(t *testing.T) {
+	q := MustParse(testCatalog(), exampleQuery)
+	if err := q.MarkEPPs("p.p_partkey = l.l_partkey", "o.o_orderkey = l.l_orderkey"); err != nil {
+		t.Fatalf("MarkEPPs: %v", err)
+	}
+	if q.D() != 2 {
+		t.Fatalf("D = %d, want 2", q.D())
+	}
+	// Reversed operand order must still match (order-insensitive).
+	if q.EPPs[1] != 1 {
+		t.Errorf("EPPs = %v, want second epp to be join 1", q.EPPs)
+	}
+	if err := q.MarkEPPs("p.p_partkey = o.o_orderkey"); err == nil {
+		t.Error("MarkEPPs with non-existent predicate should fail")
+	}
+}
+
+func TestJoinCanonicalDirection(t *testing.T) {
+	// Join written with the later relation first must be canonicalized.
+	q := MustParse(testCatalog(), `
+		SELECT * FROM part p, lineitem l WHERE l.l_partkey = p.p_partkey`)
+	j := q.Joins[0]
+	if j.LeftRel != 0 || j.RightRel != 1 {
+		t.Errorf("join rels = (%d,%d), want (0,1)", j.LeftRel, j.RightRel)
+	}
+	if j.Left.Alias != "p" {
+		t.Errorf("canonical left = %v, want p-side", j.Left)
+	}
+}
+
+func TestParseJoinOnSyntax(t *testing.T) {
+	cat := testCatalog()
+	q, err := Parse(cat, `
+		SELECT * FROM part p
+		JOIN lineitem l ON p.p_partkey = l.l_partkey
+		INNER JOIN orders o ON o.o_orderkey = l.l_orderkey AND o.o_status = 1
+		WHERE p.p_retailprice < 500`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Relations) != 3 {
+		t.Fatalf("relations = %d", len(q.Relations))
+	}
+	if len(q.Joins) != 2 {
+		t.Fatalf("joins = %d, want 2", len(q.Joins))
+	}
+	// ON-clause filter predicates land in Filters just like WHERE ones.
+	if len(q.Filters) != 2 {
+		t.Fatalf("filters = %d, want 2 (ON extra + WHERE)", len(q.Filters))
+	}
+}
+
+func TestParseJoinOnEquivalentToCommaForm(t *testing.T) {
+	cat := testCatalog()
+	a, err := Parse(cat, `
+		SELECT * FROM part p JOIN lineitem l ON p.p_partkey = l.l_partkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(cat, `
+		SELECT * FROM part p, lineitem l WHERE p.p_partkey = l.l_partkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Joins[0].String() != b.Joins[0].String() {
+		t.Errorf("JOIN ON form differs: %q vs %q", a.Joins[0].String(), b.Joins[0].String())
+	}
+}
+
+func TestParseJoinOnErrors(t *testing.T) {
+	cat := testCatalog()
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT * FROM part p JOIN lineitem l", "expected ON"},
+		{"SELECT * FROM part p INNER lineitem l ON p.p_partkey = l.l_partkey", "expected JOIN"},
+		{"SELECT * FROM part p JOIN nothere n ON p.p_partkey = n.x", "unknown table"},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(cat, tc.sql); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q) err = %v, want %q", tc.sql, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/query"
+)
+
+// Random query generation, for property-based testing of the robustness
+// guarantees: the structural bounds must hold for *any* SPJ query, not just
+// the curated suite, so tests draw random acyclic join queries over a
+// catalog and check the algorithms against them.
+
+// GenOptions shapes random query generation.
+type GenOptions struct {
+	// Relations is the number of FROM entries (>= 2).
+	Relations int
+	// EPPs is the number of error-prone predicates (clamped to the number
+	// of joins, which is Relations-1 for the generated trees).
+	EPPs int
+	// MaxFilters bounds the number of random filter predicates.
+	MaxFilters int
+}
+
+// Random generates a random acyclic SPJ query over the catalog: a random
+// spanning tree of table occurrences joined on randomly chosen columns,
+// with random range filters, and a random subset of joins designated
+// error-prone. The construction only requires columns to exist — join
+// column compatibility is irrelevant to the cost machinery, which consumes
+// selectivities, not values.
+func Random(cat *catalog.Catalog, rng *rand.Rand, opt GenOptions) (*query.Query, error) {
+	if opt.Relations < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 relations, got %d", opt.Relations)
+	}
+	tables := cat.Tables()
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("workload: empty catalog")
+	}
+	q := &query.Query{Name: "random"}
+	for i := 0; i < opt.Relations; i++ {
+		t := tables[rng.Intn(len(tables))]
+		q.Relations = append(q.Relations, query.Relation{
+			Alias: fmt.Sprintf("r%d", i),
+			Table: t,
+		})
+	}
+	pickCol := func(rel int) string {
+		cols := q.Relations[rel].Table.Columns
+		return cols[rng.Intn(len(cols))].Name
+	}
+	// Spanning tree: relation i joins a random earlier relation.
+	for i := 1; i < opt.Relations; i++ {
+		j := rng.Intn(i)
+		q.Joins = append(q.Joins, query.Join{
+			ID:   i - 1,
+			Left: query.ColumnRef{Alias: q.Relations[j].Alias, Column: pickCol(j)},
+			Right: query.ColumnRef{
+				Alias: q.Relations[i].Alias, Column: pickCol(i),
+			},
+		})
+	}
+	// Random range filters.
+	nf := 0
+	if opt.MaxFilters > 0 {
+		nf = rng.Intn(opt.MaxFilters + 1)
+	}
+	for f := 0; f < nf; f++ {
+		rel := rng.Intn(opt.Relations)
+		col, ok := q.Relations[rel].Table.Column(pickCol(rel))
+		if !ok {
+			continue
+		}
+		span := col.Max - col.Min
+		if span <= 0 {
+			continue
+		}
+		cut := col.Min + rng.Float64()*span
+		op := query.OpLt
+		if rng.Intn(2) == 0 {
+			op = query.OpGe
+		}
+		q.Filters = append(q.Filters, query.Filter{
+			ID:  len(q.Filters),
+			Col: query.ColumnRef{Alias: q.Relations[rel].Alias, Column: col.Name},
+			Op:  op, Args: []float64{cut},
+		})
+	}
+	// EPP designation: a random subset of joins, in random order.
+	d := opt.EPPs
+	if d > len(q.Joins) {
+		d = len(q.Joins)
+	}
+	if d < 1 {
+		d = 1
+	}
+	perm := rng.Perm(len(q.Joins))
+	q.EPPs = append(q.EPPs, perm[:d]...)
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid query: %w", err)
+	}
+	q.Name = fmt.Sprintf("random_%dr_%dd", opt.Relations, d)
+	return q, nil
+}
+
+// Describe renders a generated query's shape for test failure messages.
+func Describe(q *query.Query) string {
+	var b strings.Builder
+	for i, r := range q.Relations {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", r.Alias, r.Table.Name)
+	}
+	b.WriteString(" | ")
+	for i, j := range q.Joins {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		b.WriteString(j.String())
+	}
+	fmt.Fprintf(&b, " | epps=%v", q.EPPs)
+	return b.String()
+}

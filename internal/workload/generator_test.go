@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+)
+
+func TestRandomGeneratesValidQueries(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		opt := GenOptions{
+			Relations:  2 + rng.Intn(5),
+			EPPs:       1 + rng.Intn(3),
+			MaxFilters: 3,
+		}
+		q, err := Random(cat, rng, opt)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(q.Relations) != opt.Relations {
+			t.Errorf("trial %d: %d relations, want %d", trial, len(q.Relations), opt.Relations)
+		}
+		if len(q.Joins) != opt.Relations-1 {
+			t.Errorf("trial %d: %d joins for a spanning tree of %d", trial, len(q.Joins), opt.Relations)
+		}
+		if !q.Connected() {
+			t.Errorf("trial %d: disconnected: %s", trial, Describe(q))
+		}
+		// Every generated query must be optimizable.
+		m, err := cost.NewModel(q, cost.PostgresLike())
+		if err != nil {
+			t.Fatalf("trial %d: model: %v (%s)", trial, err, Describe(q))
+		}
+		o, err := optimizer.New(m)
+		if err != nil {
+			t.Fatalf("trial %d: optimizer: %v", trial, err)
+		}
+		loc := make(cost.Location, q.D())
+		for i := range loc {
+			loc[i] = 1e-4
+		}
+		if p, c := o.Optimize(loc); p == nil || c <= 0 {
+			t.Fatalf("trial %d: optimize failed (%s)", trial, Describe(q))
+		}
+	}
+}
+
+func TestRandomErrors(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(cat, rng, GenOptions{Relations: 1}); err == nil {
+		t.Error("1 relation should error")
+	}
+	if _, err := Random(catalog.New("empty"), rng, GenOptions{Relations: 2}); err == nil {
+		t.Error("empty catalog should error")
+	}
+}
+
+func TestRandomEPPClamping(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	rng := rand.New(rand.NewSource(2))
+	q, err := Random(cat, rng, GenOptions{Relations: 3, EPPs: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.D() != 2 {
+		t.Errorf("epps should clamp to join count 2, got %d", q.D())
+	}
+	q, err = Random(cat, rng, GenOptions{Relations: 3, EPPs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.D() != 1 {
+		t.Errorf("epps should floor at 1, got %d", q.D())
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	rng := rand.New(rand.NewSource(3))
+	q, err := Random(cat, rng, GenOptions{Relations: 2, EPPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Describe(q)
+	if s == "" || len(s) < 10 {
+		t.Errorf("Describe = %q", s)
+	}
+}

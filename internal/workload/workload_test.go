@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/optimizer"
+)
+
+func TestAllSuiteQueriesBuild(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	for _, sp := range TPCDSQueries() {
+		q, err := sp.Build(cat)
+		if err != nil {
+			t.Errorf("%s: %v", sp.Name, err)
+			continue
+		}
+		if q.D() != sp.D {
+			t.Errorf("%s: D = %d, want %d", sp.Name, q.D(), sp.D)
+		}
+		if sp.GridRes < 2 || sp.GridLo <= 0 {
+			t.Errorf("%s: bad grid spec %d/%g", sp.Name, sp.GridRes, sp.GridLo)
+		}
+		// The query must be optimizable end-to-end.
+		m, err := cost.NewModel(q, cost.PostgresLike())
+		if err != nil {
+			t.Errorf("%s: model: %v", sp.Name, err)
+			continue
+		}
+		o, err := optimizer.New(m)
+		if err != nil {
+			t.Errorf("%s: optimizer: %v", sp.Name, err)
+			continue
+		}
+		loc := make(cost.Location, q.D())
+		for d := range loc {
+			loc[d] = 1e-4
+		}
+		p, c := o.Optimize(loc)
+		if p == nil || c <= 0 {
+			t.Errorf("%s: optimize produced %v/%g", sp.Name, p, c)
+		}
+	}
+}
+
+func TestSuiteCoversPaperDimensionalities(t *testing.T) {
+	byD := map[int]int{}
+	for _, sp := range TPCDSQueries() {
+		byD[sp.D]++
+	}
+	for d := 3; d <= 6; d++ {
+		if byD[d] == 0 {
+			t.Errorf("no %dD query in the suite", d)
+		}
+	}
+	if len(TPCDSQueries()) < 11 {
+		t.Errorf("suite has %d queries, paper evaluates ~11", len(TPCDSQueries()))
+	}
+}
+
+func TestQ91Dimensions(t *testing.T) {
+	cat := catalog.TPCDS(100)
+	for d := 2; d <= 6; d++ {
+		sp := Q91(d)
+		q, err := sp.Build(cat)
+		if err != nil {
+			t.Fatalf("Q91(%d): %v", d, err)
+		}
+		if q.D() != d {
+			t.Errorf("Q91(%d).D = %d", d, q.D())
+		}
+	}
+	// Growing D must only add epps, never change the earlier ones.
+	for d := 3; d <= 6; d++ {
+		lo, hi := Q91(d-1), Q91(d)
+		for i := 0; i < d-1; i++ {
+			if lo.EPPs[i] != hi.EPPs[i] {
+				t.Errorf("Q91 epp %d changes between D=%d and D=%d", i, d-1, d)
+			}
+		}
+	}
+}
+
+func TestQ91PanicsOutOfRange(t *testing.T) {
+	for _, d := range []int{1, 7} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Q91(%d) should panic", d)
+				}
+			}()
+			Q91(d)
+		}()
+	}
+}
+
+func TestJOB1aBuilds(t *testing.T) {
+	sp := JOB1a()
+	q, err := sp.Build(catalog.IMDB())
+	if err != nil {
+		t.Fatalf("JOB1a: %v", err)
+	}
+	if q.D() != 2 {
+		t.Errorf("JOB1a D = %d", q.D())
+	}
+	if sp.Catalog != "imdb" {
+		t.Errorf("JOB1a catalog = %q", sp.Catalog)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"4D_Q91", "3D_Q96", "2D_Q91", "JOB_1a"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("9D_Q0"); ok {
+		t.Error("ByName(9D_Q0) should not resolve")
+	}
+}
+
+func TestNamesMatchSuite(t *testing.T) {
+	names := Names()
+	suite := TPCDSQueries()
+	if len(names) != len(suite) {
+		t.Fatalf("Names len %d != suite len %d", len(names), len(suite))
+	}
+	for i, sp := range suite {
+		if names[i] != sp.Name {
+			t.Errorf("Names[%d] = %q, want %q", i, names[i], sp.Name)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := catalog.TPCDS(1)
+	bad := Spec{Name: "bad", SQL: "SELECT * FROM nothere", EPPs: nil}
+	if _, err := bad.Build(cat); err == nil {
+		t.Error("Build of invalid SQL should fail")
+	}
+	bad2 := Spec{
+		Name: "bad2",
+		SQL:  "SELECT * FROM store s, store_sales ss WHERE ss.ss_store_sk = s.s_store_sk",
+		EPPs: []string{"nope.x = y.z"},
+	}
+	if _, err := bad2.Build(cat); err == nil {
+		t.Error("Build with unknown epp should fail")
+	}
+}
+
+func TestEQBuilds(t *testing.T) {
+	sp := EQ()
+	q, err := sp.Build(catalog.TPCH(1))
+	if err != nil {
+		t.Fatalf("EQ: %v", err)
+	}
+	if q.D() != 2 {
+		t.Errorf("EQ D = %d", q.D())
+	}
+	if sp.Catalog != "tpch" {
+		t.Errorf("EQ catalog = %q", sp.Catalog)
+	}
+	if _, ok := ByName("2D_EQ"); !ok {
+		t.Error("ByName(2D_EQ) should resolve")
+	}
+	m, err := cost.NewModel(q, cost.PostgresLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := optimizer.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, c := o.Optimize(cost.Location{1e-5, 1e-6}); p == nil || c <= 0 {
+		t.Error("EQ does not optimize")
+	}
+}

@@ -1,0 +1,66 @@
+// Package repro is a from-scratch Go reproduction of "Platform-Independent
+// Robust Query Processing" (Karthik, Haritsa, Kenkre, Pandit, Krishnan —
+// IEEE TKDE 2019; presented as the ICDE 2019 tutorial "Robust Query
+// Processing: Mission Possible"). It implements the full stack the paper
+// builds on — a TPC-DS-shaped catalog, an SPJ SQL front end, a
+// PCM-compliant cost model, a System-R dynamic-programming optimizer with
+// selectivity injection, the error-prone selectivity space (ESS) with its
+// doubling iso-cost contours, and a budget/spill-capable simulated executor
+// — plus the three robust processing algorithms it studies:
+//
+//   - PlanBouquet (baseline): contour-budgeted plan sequences, MSO ≤ 4(1+λ)ρ
+//   - SpillBound (the paper's core): spill-mode executions with half-space
+//     pruning, structural MSO ≤ D²+3D
+//   - AlignedBound: contour/predicate-set alignment, MSO ∈ [2D+2, D²+3D]
+//
+// The entry point is a Session:
+//
+//	cat := repro.TPCDSCatalog(100)
+//	sess, err := repro.NewSession(cat, sql, epps, repro.DefaultOptions())
+//	res, err := sess.Run(repro.SpillBound, repro.Location{0.04, 0.1})
+//	fmt.Println(res.Trace)
+package repro
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/cost"
+)
+
+// Catalog is database metadata: tables, row counts, column statistics.
+type Catalog = catalog.Catalog
+
+// Table describes one base relation of a Catalog.
+type Table = catalog.Table
+
+// Column describes one attribute of a Table.
+type Column = catalog.Column
+
+// Location is a point of the error-prone selectivity space: Location[d] is
+// the selectivity in (0,1] of the query's d-th error-prone predicate.
+type Location = cost.Location
+
+// CostParams holds a platform cost profile's operator constants.
+type CostParams = cost.Params
+
+// NewCatalog returns an empty catalog for custom schemas.
+func NewCatalog(name string) *Catalog { return catalog.New(name) }
+
+// TPCDSCatalog returns the TPC-DS-shaped synthetic catalog at the given
+// scale factor (100 ≈ the paper's 100 GB configuration).
+func TPCDSCatalog(scaleFactor float64) *Catalog { return catalog.TPCDS(scaleFactor) }
+
+// IMDBCatalog returns the IMDB-shaped catalog backing the Join Order
+// Benchmark analogue.
+func IMDBCatalog() *Catalog { return catalog.IMDB() }
+
+// TPCHCatalog returns the TPC-H-shaped catalog hosting the paper's
+// motivating example query EQ (Fig. 1).
+func TPCHCatalog(scaleFactor float64) *Catalog { return catalog.TPCH(scaleFactor) }
+
+// PostgresProfile returns PostgreSQL-flavoured cost constants (the paper's
+// evaluation platform).
+func PostgresProfile() CostParams { return cost.PostgresLike() }
+
+// CommercialProfile returns a second platform profile with different
+// operator trade-offs, for platform-dependence studies.
+func CommercialProfile() CostParams { return cost.CommercialLike() }

@@ -1,0 +1,344 @@
+package repro
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/aligned"
+	"repro/internal/bouquet"
+	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/ess"
+	"repro/internal/metrics"
+	"repro/internal/native"
+	"repro/internal/optimizer"
+	"repro/internal/query"
+	"repro/internal/spillbound"
+	"repro/internal/sqlmini"
+)
+
+// Algorithm selects a query processing strategy.
+type Algorithm int
+
+// The processing strategies the library implements.
+const (
+	// Native is the traditional optimize-then-execute baseline: pick the
+	// plan optimal at the statistics estimate and run it regardless.
+	Native Algorithm = iota
+	// PlanBouquet is Dutt & Haritsa's contour-budgeted discovery baseline.
+	PlanBouquet
+	// SpillBound is the paper's core algorithm (MSO ≤ D²+3D).
+	SpillBound
+	// AlignedBound is the alignment-exploiting variant
+	// (MSO ∈ [2D+2, D²+3D]).
+	AlignedBound
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Native:
+		return "native"
+	case PlanBouquet:
+		return "planbouquet"
+	case SpillBound:
+		return "spillbound"
+	case AlignedBound:
+		return "alignedbound"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves an algorithm name (as produced by String).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{Native, PlanBouquet, SpillBound, AlignedBound} {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("repro: unknown algorithm %q", name)
+}
+
+// Options configures a Session.
+type Options struct {
+	// Params is the platform cost profile.
+	Params CostParams
+	// GridRes is the per-dimension ESS grid resolution.
+	GridRes int
+	// GridLo is the smallest grid selectivity.
+	GridLo float64
+	// ContourRatio is the iso-cost contour cost ratio (paper default 2).
+	ContourRatio float64
+	// ReductionLambda is PlanBouquet's anorexic reduction threshold.
+	ReductionLambda float64
+}
+
+// DefaultOptions returns the paper-faithful defaults with a moderate grid.
+func DefaultOptions() Options {
+	return Options{
+		Params:          PostgresProfile(),
+		GridRes:         12,
+		GridLo:          1e-6,
+		ContourRatio:    ess.CostDoublingRatio,
+		ReductionLambda: 0.2,
+	}
+}
+
+// Session holds everything needed to process one query robustly: the bound
+// query, its cost model, the explored ESS (POSP + optimal cost surface +
+// contours) and the reduced plan diagram for PlanBouquet.
+type Session struct {
+	opts  Options
+	query *query.Query
+	model *cost.Model
+	space *ess.Space
+	diag  *bouquet.Diagram
+}
+
+// NewSession parses and binds the SQL against the catalog, marks the given
+// join predicates (rendered "alias.col = alias.col") as error-prone, and
+// builds the ESS by exhaustive optimizer calls over the grid.
+func NewSession(cat *Catalog, sql string, epps []string, opts Options) (*Session, error) {
+	if opts.GridRes < 2 {
+		return nil, fmt.Errorf("repro: grid resolution %d too small", opts.GridRes)
+	}
+	q, err := sqlmini.Parse(cat, sql)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.MarkEPPs(epps...); err != nil {
+		return nil, err
+	}
+	m, err := cost.NewModel(q, opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	o, err := optimizer.New(m)
+	if err != nil {
+		return nil, err
+	}
+	s := ess.Build(o, ess.NewGrid(q.D(), opts.GridRes, opts.GridLo))
+	return &Session{
+		opts:  opts,
+		query: q,
+		model: m,
+		space: s,
+		diag:  bouquet.Reduce(s, opts.ReductionLambda),
+	}, nil
+}
+
+// D returns the number of error-prone predicates.
+func (s *Session) D() int { return s.query.D() }
+
+// POSPSize returns the number of distinct plans optimal somewhere in the
+// ESS.
+func (s *Session) POSPSize() int { return len(s.space.Plans()) }
+
+// ContourCount returns the number of doubling iso-cost contours.
+func (s *Session) ContourCount() int { return len(s.space.ContourCosts(s.opts.ContourRatio)) }
+
+// EstimateLocation returns the traditional optimizer's statistics-derived
+// selectivity estimate for the epps.
+func (s *Session) EstimateLocation() Location { return s.model.EstimateLocation() }
+
+// Guarantee returns the algorithm's MSO guarantee for this session:
+// PlanBouquet's behavioral 4(1+λ)ρ, SpillBound's structural D²+3D,
+// AlignedBound's worst-case D²+3D, and +Inf (none) for the native baseline.
+func (s *Session) Guarantee(a Algorithm) float64 {
+	switch a {
+	case PlanBouquet:
+		return s.diag.Guarantee(s.space.ContourCosts(s.opts.ContourRatio))
+	case SpillBound:
+		return spillbound.Guarantee(s.D())
+	case AlignedBound:
+		return aligned.GuaranteeUpper(s.D())
+	}
+	return math.Inf(1)
+}
+
+// GuaranteeLowerAB returns AlignedBound's aligned-case bound 2D+2.
+func (s *Session) GuaranteeLowerAB() float64 { return aligned.GuaranteeLower(s.D()) }
+
+// ExecutionStep is one budgeted execution of a robust run.
+type ExecutionStep struct {
+	// Contour is the 1-based contour number.
+	Contour int
+	// SpillDim is the ESS dimension spilled on, or -1 for regular runs.
+	SpillDim int
+	// PlanID is the executed plan's POSP index.
+	PlanID int
+	// Budget and Spent are the assigned and charged costs.
+	Budget, Spent float64
+	// Completed reports completion within budget.
+	Completed bool
+	// Learned is the selectivity learnt for SpillDim (exact on completion,
+	// monitoring lower bound otherwise).
+	Learned float64
+}
+
+// RunResult reports one query processing run at a hidden true location.
+type RunResult struct {
+	// Algorithm is the strategy used.
+	Algorithm Algorithm
+	// Steps lists the budgeted executions (empty for the native baseline,
+	// which runs one plan without budget).
+	Steps []ExecutionStep
+	// TotalCost is the strategy's total charged cost.
+	TotalCost float64
+	// OptimalCost is the oracle cost Cost(P_qa, q_a).
+	OptimalCost float64
+	// SubOpt is TotalCost/OptimalCost (Eq. 1/3).
+	SubOpt float64
+	// Trace is a human-readable execution transcript.
+	Trace string
+}
+
+// newModel builds the cost model for a bound query (shared by the session
+// constructors in this file and extensions.go).
+func newModel(q *query.Query, p CostParams) (*cost.Model, error) {
+	return cost.NewModel(q, p)
+}
+
+// Run processes the query with the chosen algorithm against a true
+// selectivity location (unknown to the algorithm; used only by the
+// simulated executor) and reports cost and sub-optimality.
+func (s *Session) Run(a Algorithm, truth Location) (RunResult, error) {
+	return s.run(a, truth, nil)
+}
+
+// run is Run with an optional injected cost-model error.
+func (s *Session) run(a Algorithm, truth Location, costErr engine.CostErrorFn) (RunResult, error) {
+	if len(truth) != s.D() {
+		return RunResult{}, fmt.Errorf("repro: truth has %d dims, query has %d epps", len(truth), s.D())
+	}
+	for _, v := range truth {
+		if v <= 0 || v > 1 {
+			return RunResult{}, fmt.Errorf("repro: selectivity %g outside (0,1]", v)
+		}
+	}
+	opt, err := s.optimalCost(truth)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := RunResult{Algorithm: a, OptimalCost: opt}
+	e := engine.New(s.model, truth)
+	e.CostError = costErr
+	switch a {
+	case Native:
+		est := s.EstimateLocation()
+		o, err := optimizer.New(s.model)
+		if err != nil {
+			return RunResult{}, err
+		}
+		p, _ := o.Optimize(est)
+		res.TotalCost = s.model.Eval(p, truth)
+		res.Trace = fmt.Sprintf("native: plan at estimate %v, cost %.4g\n", est, res.TotalCost)
+	case PlanBouquet:
+		out := bouquet.Run(s.diag, e, s.opts.ContourRatio)
+		res.TotalCost = out.TotalCost
+		for _, st := range out.Steps {
+			res.Steps = append(res.Steps, ExecutionStep{
+				Contour: st.Contour + 1, SpillDim: -1, PlanID: st.PlanID,
+				Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
+			})
+			res.Trace += st.String() + "\n"
+		}
+	case SpillBound:
+		out := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).Run(e)
+		res.TotalCost = out.TotalCost
+		res.Steps = convertSteps(out.Executions)
+		res.Trace = out.Trace()
+	case AlignedBound:
+		out := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).Run(e)
+		res.TotalCost = out.TotalCost
+		for _, x := range out.Executions {
+			res.Steps = append(res.Steps, stepFrom(x.Execution))
+		}
+		res.Trace = out.Trace()
+	default:
+		return RunResult{}, fmt.Errorf("repro: unknown algorithm %v", a)
+	}
+	res.SubOpt = res.TotalCost / opt
+	return res, nil
+}
+
+func convertSteps(xs []spillbound.Execution) []ExecutionStep {
+	out := make([]ExecutionStep, len(xs))
+	for i, x := range xs {
+		out[i] = stepFrom(x)
+	}
+	return out
+}
+
+func stepFrom(x spillbound.Execution) ExecutionStep {
+	return ExecutionStep{
+		Contour: x.Contour + 1, SpillDim: x.Dim, PlanID: x.PlanID,
+		Budget: x.Budget, Spent: x.Spent, Completed: x.Completed, Learned: x.Learned,
+	}
+}
+
+// optimalCost optimizes at the exact (possibly off-grid) truth.
+func (s *Session) optimalCost(truth Location) (float64, error) {
+	o, err := optimizer.New(s.model)
+	if err != nil {
+		return 0, err
+	}
+	_, c := o.Optimize(truth)
+	return c, nil
+}
+
+// SweepSummary aggregates a whole-ESS robustness evaluation.
+type SweepSummary struct {
+	// Algorithm is the evaluated strategy.
+	Algorithm Algorithm
+	// MSO is the maximum sub-optimality over the swept locations (Eq. 4).
+	MSO float64
+	// ASO is the average sub-optimality (Eq. 8).
+	ASO float64
+	// Locations is the number of true locations evaluated.
+	Locations int
+	// WorstLocation attains the MSO.
+	WorstLocation Location
+}
+
+// Sweep evaluates the algorithm's MSO and ASO by treating (a sample of)
+// every ESS grid cell as the true location. maxLocations caps the sweep
+// (0 = exhaustive).
+func (s *Session) Sweep(a Algorithm, maxLocations int) (SweepSummary, error) {
+	var run metrics.RunFunc
+	switch a {
+	case Native:
+		est := s.EstimateLocation()
+		run = func(truth Location) float64 {
+			g := s.space.Grid
+			idx := make([]int, g.D)
+			for d := range idx {
+				idx[d] = g.CeilIndex(d, est[d])
+			}
+			return s.model.Eval(s.space.PlanAt(g.Flatten(idx)), truth)
+		}
+	case PlanBouquet:
+		run = func(truth Location) float64 {
+			return bouquet.Run(s.diag, engine.New(s.model, truth), s.opts.ContourRatio).TotalCost
+		}
+	case SpillBound:
+		r := &spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}
+		run = func(truth Location) float64 { return r.Run(engine.New(s.model, truth)).TotalCost }
+	case AlignedBound:
+		r := &aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}
+		run = func(truth Location) float64 { return r.Run(engine.New(s.model, truth)).TotalCost }
+	default:
+		return SweepSummary{}, fmt.Errorf("repro: unknown algorithm %v", a)
+	}
+	res := metrics.Sweep(s.space, run, metrics.SweepOptions{MaxLocations: maxLocations, Seed: 1})
+	sum := SweepSummary{Algorithm: a, MSO: res.MSO, ASO: res.ASO, Locations: len(res.Cells)}
+	if res.MSOCell >= 0 {
+		sum.WorstLocation = s.space.Grid.Location(res.MSOCell)
+	}
+	return sum, nil
+}
+
+// NativeMSO returns the native baseline's MSO maximized over both the
+// estimate and actual locations (Eq. 2), the paper's headline motivation
+// metric. stride subsamples for large grids (1 = exhaustive).
+func (s *Session) NativeMSO(stride int) float64 { return native.MSO(s.space, stride) }
