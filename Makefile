@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race vet chaos bench experiments clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# chaos runs the seeded fault-injection scenarios under the race detector:
+# injected errors, operator panics, cost-eval failures and latency faults
+# must end in retried or cleanly degraded runs, never a crash or hang.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Resilient|Degrad' ./... -v
+	$(GO) test -race ./internal/faults/ -v
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	$(GO) clean ./...

@@ -7,26 +7,73 @@
 //	curl -s -XPOST localhost:8080/sessions -d '{"query":"2D_EQ"}'
 //	curl -s -XPOST localhost:8080/sessions/s1/run \
 //	     -d '{"algorithm":"spillbound","truth":[0.04,0.1]}'
+//
+// The daemon carries the operational guard rails of internal/server: panic
+// recovery, per-request timeouts (requests pass their deadline down into
+// the discovery algorithms, which abort mid-contour), a session TTL with
+// background eviction, slowloris-resistant socket timeouts, and graceful
+// shutdown on SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session eviction TTL (0 disables)")
+	maxSessions := flag.Int("max-sessions", 256, "live session cap (0 = unlimited)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
+
+	api := server.NewWithConfig(server.Config{
+		RequestTimeout: *reqTimeout,
+		SessionTTL:     *sessionTTL,
+		MaxSessions:    *maxSessions,
+	})
+	api.StartEviction()
+	defer api.Close()
 
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: server.New().Handler(),
+		Handler: api.Handler(),
+		// Socket-level guards against slow clients (slowloris): bound how
+		// long headers may trickle in and how long idle keep-alives linger.
+		// No blanket WriteTimeout — session builds legitimately run long;
+		// the per-request middleware deadline governs handler work instead.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
-	log.Printf("rqpd listening on %s", *addr)
-	if err := srv.ListenAndServe(); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rqpd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+		log.Printf("rqpd shutting down (signal)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("rqpd shutdown: %v", err)
+		}
+		log.Printf("rqpd stopped")
 	}
 }

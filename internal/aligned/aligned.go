@@ -9,6 +9,7 @@
 package aligned
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bouquet"
@@ -344,6 +345,15 @@ func (st *contourState) bestPartition(free []int) ([]partExec, float64, bool) {
 // Run performs AlignedBound discovery (Algorithm 2) against the engine's
 // hidden true location.
 func (r *Runner) Run(e engine.Executor) Outcome {
+	out, _ := r.RunContext(context.Background(), e)
+	return out
+}
+
+// RunContext is Run with cancellation and error-aware execution, mirroring
+// spillbound.Runner.RunContext: the partial outcome is returned with the
+// abort error.
+func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, error) {
+	ce := engine.AsContextExecutor(e)
 	s := r.Space
 	g := s.Grid
 	costs := s.ContourCosts(r.Ratio)
@@ -352,9 +362,12 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 	var out Outcome
 
 	for i := 0; i < len(costs); {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		free := sub.FreeDims()
 		if len(free) == 1 {
-			tail := bouquet.RunSubspace(s, s, e, costs, i, sub, 1)
+			tail, err := bouquet.RunSubspaceContext(ctx, s, s, ce, costs, i, sub, 1)
 			for _, stp := range tail.Steps {
 				out.Executions = append(out.Executions, Execution{
 					Execution: spillbound.Execution{
@@ -365,7 +378,7 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 			}
 			out.TotalCost += tail.TotalCost
 			out.Completed = tail.Completed
-			return out
+			return out, err
 		}
 
 		cells := sub.ContourCellsCached(costs[i])
@@ -395,7 +408,10 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 			if p == nil {
 				p = s.Plans()[pe.planID]
 			}
-			res, okSpill := e.ExecuteSpill(p, pe.leader, pe.budget)
+			res, okSpill, err := ce.ExecuteSpillCtx(ctx, p, pe.leader, pe.budget)
+			if err != nil {
+				return out, err
+			}
 			if !okSpill {
 				continue
 			}
@@ -423,7 +439,10 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 	// Defensive fallback mirroring SpillBound's.
 	ci := sub.MaxCorner()
 	p := s.PlanAt(ci)
-	res := e.Execute(p, math.Inf(1))
+	res, err := ce.ExecuteCtx(ctx, p, math.Inf(1))
+	if err != nil {
+		return out, err
+	}
 	out.Executions = append(out.Executions, Execution{
 		Execution: spillbound.Execution{
 			Contour: len(costs) - 1, Dim: -1, PlanID: s.PlanIDAt(ci),
@@ -432,5 +451,5 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 	})
 	out.TotalCost += res.Spent
 	out.Completed = true
-	return out
+	return out, nil
 }

@@ -1,6 +1,7 @@
 package bouquet
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,8 +41,17 @@ type Outcome struct {
 // budget (inflated by the diagram's reduction threshold), jumping to the
 // next contour when all fail. The engine carries the hidden true location.
 func Run(d *Diagram, e engine.Executor, ratio float64) Outcome {
+	out, _ := RunContext(context.Background(), d, e, ratio)
+	return out
+}
+
+// RunContext is Run with cancellation: the context is checked at every
+// contour iteration and execution boundary, and the partial outcome is
+// returned alongside the abort error. Fault plans attached to the context
+// surface the same way (see internal/faults).
+func RunContext(ctx context.Context, d *Diagram, e engine.Executor, ratio float64) (Outcome, error) {
 	costs := d.Space.ContourCosts(ratio)
-	return RunSubspace(d.Space, d, e, costs, 0, d.Space.Full(), 1+d.Lambda)
+	return RunSubspaceContext(ctx, d.Space, d, e, costs, 0, d.Space.Full(), 1+d.Lambda)
 }
 
 // RunSubspace is the budgeted execution loop over an arbitrary subspace and
@@ -50,12 +60,29 @@ func Run(d *Diagram, e engine.Executor, ratio float64) Outcome {
 // standard PlanBouquet with only the [remaining] epp, starting from the
 // contour currently being explored"). Budgets are cc*inflate.
 func RunSubspace(s *ess.Space, a Assignment, e engine.Executor, costs []float64, start int, sub ess.Subspace, inflate float64) Outcome {
+	out, _ := RunSubspaceContext(context.Background(), s, a, e, costs, start, sub, inflate)
+	return out
+}
+
+// RunSubspaceContext is RunSubspace with cancellation and error-aware
+// execution. On abort (cancellation, deadline, or an execution failure that
+// survived the substrate's retry policy) it returns the steps completed so
+// far together with the error; the caller decides whether to degrade or
+// propagate.
+func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engine.Executor, costs []float64, start int, sub ess.Subspace, inflate float64) (Outcome, error) {
+	ce := engine.AsContextExecutor(e)
 	var out Outcome
 	for i := start; i < len(costs); i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		cells := sub.ContourCellsCached(costs[i])
 		for _, id := range distinctPlans(a, cells) {
 			budget := costs[i] * inflate
-			res := e.Execute(s.Plans()[id], budget)
+			res, err := ce.ExecuteCtx(ctx, s.Plans()[id], budget)
+			if err != nil {
+				return out, err
+			}
 			out.Steps = append(out.Steps, Step{
 				Contour: i, PlanID: id, Budget: budget,
 				Spent: res.Spent, Completed: res.Completed,
@@ -64,7 +91,7 @@ func RunSubspace(s *ess.Space, a Assignment, e engine.Executor, costs []float64,
 			if res.Completed {
 				out.Completed = true
 				out.FinalPlanID = id
-				return out
+				return out, nil
 			}
 		}
 	}
@@ -74,14 +101,17 @@ func RunSubspace(s *ess.Space, a Assignment, e engine.Executor, costs []float64,
 	// running that plan unbudgeted.
 	ci := sub.MaxCorner()
 	p := s.Plans()[a.PlanIDAt(ci)]
-	res := e.Execute(p, math.Inf(1))
+	res, err := ce.ExecuteCtx(ctx, p, math.Inf(1))
+	if err != nil {
+		return out, err
+	}
 	out.Steps = append(out.Steps, Step{
 		Contour: len(costs) - 1, PlanID: a.PlanIDAt(ci), Budget: res.Spent, Spent: res.Spent, Completed: true,
 	})
 	out.TotalCost += res.Spent
 	out.Completed = true
 	out.FinalPlanID = a.PlanIDAt(ci)
-	return out
+	return out, nil
 }
 
 // distinctPlans returns the distinct plan IDs assigned to the cells, in

@@ -14,9 +14,11 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/faults"
 	"repro/internal/plan"
 )
 
@@ -29,6 +31,48 @@ type Executor interface {
 	Execute(p *plan.Plan, budget float64) Result
 	// ExecuteSpill runs the plan in spill-mode on the ESS dimension.
 	ExecuteSpill(p *plan.Plan, dim int, budget float64) (SpillResult, bool)
+}
+
+// ContextExecutor is an Executor that additionally supports cancellable,
+// fault-aware execution: the context carries the caller's deadline and any
+// injected fault plan (internal/faults), and errors — injected or real —
+// surface instead of panicking. The discovery runners prefer this interface
+// when the substrate provides it.
+type ContextExecutor interface {
+	Executor
+	// ExecuteCtx is Execute honouring cancellation and fault injection.
+	ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (Result, error)
+	// ExecuteSpillCtx is ExecuteSpill honouring cancellation and fault
+	// injection.
+	ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, budget float64) (SpillResult, bool, error)
+}
+
+// AsContextExecutor adapts any Executor to the context-aware interface:
+// native ContextExecutors pass through; plain ones get a wrapper that checks
+// cancellation before delegating (the execution itself is then atomic from
+// the caller's point of view).
+func AsContextExecutor(e Executor) ContextExecutor {
+	if ce, ok := e.(ContextExecutor); ok {
+		return ce
+	}
+	return plainCtxExecutor{e}
+}
+
+type plainCtxExecutor struct{ Executor }
+
+func (w plainCtxExecutor) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return w.Execute(p, budget), nil
+}
+
+func (w plainCtxExecutor) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, budget float64) (SpillResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return SpillResult{}, false, err
+	}
+	res, ok := w.ExecuteSpill(p, dim, budget)
+	return res, ok, nil
 }
 
 // Engine executes plans against a fixed true selectivity location q_a.
@@ -47,12 +91,30 @@ type Engine struct {
 	CostError CostErrorFn
 }
 
-// New returns an engine executing at the given true location.
+// New returns an engine executing at the given true location. It panics on
+// a truth/query dimensionality mismatch; callers handling untrusted input
+// should use NewChecked.
 func New(m *cost.Model, truth cost.Location) *Engine {
-	if len(truth) != m.Query.D() {
-		panic(fmt.Sprintf("engine: truth has %d dims, query has %d epps", len(truth), m.Query.D()))
+	e, err := NewChecked(m, truth)
+	if err != nil {
+		panic(err.Error())
 	}
-	return &Engine{Model: m, Truth: truth, TimeScale: 0}
+	return e
+}
+
+// NewChecked is New returning an error instead of panicking on invalid
+// input — the constructor for request-driven paths (e.g. the HTTP server)
+// where a bad payload must yield a 4xx, not a crash.
+func NewChecked(m *cost.Model, truth cost.Location) (*Engine, error) {
+	if len(truth) != m.Query.D() {
+		return nil, fmt.Errorf("engine: truth has %d dims, query has %d epps", len(truth), m.Query.D())
+	}
+	for d, v := range truth {
+		if v <= 0 || v > 1 {
+			return nil, fmt.Errorf("engine: truth[%d] = %g outside (0,1]", d, v)
+		}
+	}
+	return &Engine{Model: m, Truth: truth, TimeScale: 0}, nil
 }
 
 // Result reports one budgeted (non-spill) execution.
@@ -72,6 +134,44 @@ func (e *Engine) Execute(p *plan.Plan, budget float64) Result {
 		return Result{Completed: true, Spent: c}
 	}
 	return Result{Completed: false, Spent: budget}
+}
+
+// ExecuteCtx is Execute with cancellation and fault injection: it checks the
+// context before doing work, consults any fault plan attached to the context
+// (latency, injected error or panic, cost-eval failure, budget overrun), and
+// returns the failure instead of silently proceeding.
+func (e *Engine) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	fp := faults.From(ctx)
+	if err := fp.BeforeExec(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := fp.OnCostEval(); err != nil {
+		return Result{}, err
+	}
+	c := e.execCost(p) * fp.OverrunFactor()
+	if c <= budget {
+		return Result{Completed: true, Spent: c}, nil
+	}
+	return Result{Completed: false, Spent: budget}, nil
+}
+
+// ExecuteSpillCtx is ExecuteSpill with cancellation and fault injection.
+func (e *Engine) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, budget float64) (SpillResult, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return SpillResult{}, false, err
+	}
+	fp := faults.From(ctx)
+	if err := fp.BeforeExec(ctx); err != nil {
+		return SpillResult{}, false, err
+	}
+	if err := fp.OnCostEval(); err != nil {
+		return SpillResult{}, false, err
+	}
+	res, ok := e.executeSpill(p, dim, budget, fp.OverrunFactor())
+	return res, ok, nil
 }
 
 // SpillResult reports one spill-mode execution.
@@ -94,12 +194,18 @@ type SpillResult struct {
 // and the whole budget is devoted to learning that predicate's selectivity.
 // ok is false if the plan does not apply the predicate (no spill possible).
 func (e *Engine) ExecuteSpill(p *plan.Plan, dim int, budget float64) (SpillResult, bool) {
+	return e.executeSpill(p, dim, budget, 1)
+}
+
+// executeSpill is ExecuteSpill with an extra charged-cost multiplier
+// (fault-injected budget overrun; 1 when disabled).
+func (e *Engine) executeSpill(p *plan.Plan, dim int, budget float64, overrun float64) (SpillResult, bool) {
 	joinID := e.Model.Query.EPPs[dim]
 	sub := p.Subtree(joinID)
 	if sub == nil {
 		return SpillResult{}, false
 	}
-	factor := e.errorFactor(p)
+	factor := e.errorFactor(p) * overrun
 	full := e.Model.Eval(sub, e.Truth) * factor
 	if full <= budget {
 		return SpillResult{Completed: true, Spent: full, Learned: e.Truth[dim]}, true

@@ -1,0 +1,196 @@
+// Degradation-aware execution (operational robustness). The paper bounds the
+// damage of adversarial selectivity estimates; this file bounds the damage
+// of operational failures with a fixed ladder: a failing execution step is
+// retried with exponential backoff, and a step that keeps failing aborts the
+// discovery run with a typed error so the session layer can fall back to the
+// Native (estimate-optimal) plan and report the downgraded guarantee —
+// instead of panicking or hanging.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/plan"
+)
+
+// Policy configures step-level retry with exponential backoff.
+type Policy struct {
+	// MaxRetries is the number of re-attempts after the first failure of a
+	// single execution step. Past it the step error propagates.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling. 0 means no cap.
+	MaxBackoff time.Duration
+}
+
+// DefaultPolicy returns the standard ladder: two retries starting at 1ms —
+// enough to absorb transient faults without stretching a simulated run.
+func DefaultPolicy() Policy {
+	return Policy{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond}
+}
+
+// backoff returns the delay before retry attempt n (1-based).
+func (p Policy) backoff(n int) time.Duration {
+	d := p.BaseBackoff << uint(n-1)
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// StepError wraps the terminal failure of one execution step after the
+// retry budget is exhausted, so callers can distinguish "this step is
+// broken, degrade" from cancellation.
+type StepError struct {
+	// Attempts is the total number of attempts made (1 + retries).
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("engine: execution step failed after %d attempts: %v", e.Attempts, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
+
+// Resilient wraps a ContextExecutor with the retry half of the degradation
+// ladder: panics in the substrate are recovered into errors, failed steps
+// are retried with exponential backoff, and cancellation is never retried.
+// It implements ContextExecutor, so discovery runners use it transparently.
+type Resilient struct {
+	// Exec is the wrapped substrate.
+	Exec ContextExecutor
+	// Policy is the retry configuration (zero value: no retries).
+	Policy Policy
+	// Sleep replaces time.Sleep in tests; nil uses a context-aware sleep.
+	Sleep func(context.Context, time.Duration) error
+
+	mu      sync.Mutex
+	retries int
+	events  []string
+}
+
+// NewResilient wraps the executor with the default policy.
+func NewResilient(e Executor) *Resilient {
+	return &Resilient{Exec: AsContextExecutor(e), Policy: DefaultPolicy()}
+}
+
+// Retries reports the total number of retry attempts performed.
+func (r *Resilient) Retries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.retries
+}
+
+// Events returns the recovery log (one line per recovered failure or
+// retry), for inclusion in run traces.
+func (r *Resilient) Events() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.events...)
+}
+
+func (r *Resilient) note(format string, args ...any) {
+	r.mu.Lock()
+	r.events = append(r.events, fmt.Sprintf(format, args...))
+	r.mu.Unlock()
+}
+
+// attempt runs fn once, converting a panic in the substrate into an error.
+func attempt(fn func() error) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("engine: panic during execution: %v", rec)
+		}
+	}()
+	return fn()
+}
+
+// retry drives fn through the policy's backoff schedule. fn is re-invoked
+// until it succeeds, the retry budget is exhausted (→ *StepError), or the
+// context is done (→ ctx error, never retried).
+func (r *Resilient) retry(ctx context.Context, kind string, fn func() error) error {
+	var last error
+	for n := 0; ; n++ {
+		last = attempt(fn)
+		if last == nil {
+			return nil
+		}
+		if errors.Is(last, context.Canceled) || errors.Is(last, context.DeadlineExceeded) {
+			return last
+		}
+		if n >= r.Policy.MaxRetries {
+			r.note("%s: giving up after %d attempts: %v", kind, n+1, last)
+			return &StepError{Attempts: n + 1, Err: last}
+		}
+		d := r.Policy.backoff(n + 1)
+		r.mu.Lock()
+		r.retries++
+		r.mu.Unlock()
+		r.note("%s: attempt %d failed (%v), retrying in %s", kind, n+1, last, d)
+		sleep := r.Sleep
+		if sleep == nil {
+			sleep = sleepUntil
+		}
+		if err := sleep(ctx, d); err != nil {
+			return err
+		}
+	}
+}
+
+// sleepUntil sleeps for d or until ctx is done.
+func sleepUntil(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ExecuteCtx runs the plan under budget with retry-on-failure.
+func (r *Resilient) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (Result, error) {
+	var res Result
+	err := r.retry(ctx, "execute", func() error {
+		var e error
+		res, e = r.Exec.ExecuteCtx(ctx, p, budget)
+		return e
+	})
+	return res, err
+}
+
+// ExecuteSpillCtx runs the spill-mode execution with retry-on-failure.
+func (r *Resilient) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, budget float64) (SpillResult, bool, error) {
+	var res SpillResult
+	var ok bool
+	err := r.retry(ctx, "spill", func() error {
+		var e error
+		res, ok, e = r.Exec.ExecuteSpillCtx(ctx, p, dim, budget)
+		return e
+	})
+	return res, ok, err
+}
+
+// Execute implements the plain Executor interface (no cancellation, no
+// faults) by delegating with a background context.
+func (r *Resilient) Execute(p *plan.Plan, budget float64) Result {
+	res, _ := r.ExecuteCtx(context.Background(), p, budget)
+	return res
+}
+
+// ExecuteSpill implements the plain Executor interface.
+func (r *Resilient) ExecuteSpill(p *plan.Plan, dim int, budget float64) (SpillResult, bool) {
+	res, ok, _ := r.ExecuteSpillCtx(context.Background(), p, dim, budget)
+	return res, ok
+}
+
+var _ ContextExecutor = (*Resilient)(nil)

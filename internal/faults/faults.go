@@ -1,0 +1,204 @@
+// Package faults provides an injectable fault plan for resilience testing —
+// the operational analogue of the paper's adversarial selectivity errors.
+// Where the MSO guarantees bound the damage of a hostile *estimate*, a fault
+// plan bounds-checks the runtime against hostile *operations*: an execution
+// that errors, an operator that panics, latency that eats a deadline, or a
+// budget overrun. Plans are threaded through context.Context so any layer
+// (engine, row executor, server handler) can consult the active plan without
+// new parameters, and seeded scenarios make chaos runs deterministic and
+// replayable in tests.
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected marks a failure introduced by a fault plan. Degradation
+// policies treat it exactly like a real execution failure; tests assert on
+// it with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// IsInjected reports whether the error originates from a fault plan.
+func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Plan describes which faults to inject and when. Counters are 1-based over
+// the executions observed by the consulted layer; the zero value injects
+// nothing. A Plan is safe for concurrent use.
+type Plan struct {
+	// FailExecAt injects ErrInjected on the Nth execution (1-based).
+	// 0 disables.
+	FailExecAt int
+	// FailExecCount is how many consecutive executions fail starting at
+	// FailExecAt. 0 means 1 when FailExecAt is set. A count larger than any
+	// retry budget forces the degradation ladder all the way down.
+	FailExecCount int
+	// PanicExecAt panics on the Nth execution (1-based) — simulating an
+	// operator bug rather than a clean error. 0 disables.
+	PanicExecAt int
+	// FailCostEvalAt injects ErrInjected on the Nth cost evaluation
+	// (1-based). 0 disables.
+	FailCostEvalAt int
+	// Latency is artificial delay added to every execution, to exercise
+	// deadline enforcement. 0 disables.
+	Latency time.Duration
+	// BudgetOverrun, when > 1, multiplies every execution's charged cost —
+	// the engine spends past its assigned budget, as a misbehaving operator
+	// would. Values <= 1 disable.
+	BudgetOverrun float64
+
+	mu        sync.Mutex
+	execs     int
+	costEvals int
+	injected  int
+}
+
+// ctxKey is the private context key for the active plan.
+type ctxKey struct{}
+
+// With returns a context carrying the fault plan. A nil plan returns ctx
+// unchanged.
+func With(ctx context.Context, p *Plan) context.Context {
+	if p == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, p)
+}
+
+// From extracts the active fault plan, or nil when none is attached.
+func From(ctx context.Context) *Plan {
+	if ctx == nil {
+		return nil
+	}
+	p, _ := ctx.Value(ctxKey{}).(*Plan)
+	return p
+}
+
+// BeforeExec is called by executors at each execution boundary. It applies
+// the plan's latency, honours the context deadline during the sleep, panics
+// when the panic counter fires, and returns ErrInjected when the failure
+// window covers this execution. Nil-safe.
+func (p *Plan) BeforeExec(ctx context.Context) error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.execs++
+	n := p.execs
+	panicAt := p.PanicExecAt
+	failAt, failCount := p.FailExecAt, p.FailExecCount
+	if failAt > 0 && failCount <= 0 {
+		failCount = 1
+	}
+	inject := failAt > 0 && n >= failAt && n < failAt+failCount
+	if inject {
+		p.injected++
+	}
+	latency := p.Latency
+	p.mu.Unlock()
+
+	if latency > 0 {
+		if err := sleepCtx(ctx, latency); err != nil {
+			return err
+		}
+	}
+	if panicAt > 0 && n == panicAt {
+		panic(fmt.Sprintf("faults: injected panic on execution %d", n))
+	}
+	if inject {
+		return fmt.Errorf("%w (execution %d)", ErrInjected, n)
+	}
+	return nil
+}
+
+// OnCostEval is called by the engine at each cost-model evaluation used for
+// execution charging; it returns ErrInjected when the cost-eval counter
+// fires. Nil-safe.
+func (p *Plan) OnCostEval() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.costEvals++
+	n := p.costEvals
+	at := p.FailCostEvalAt
+	inject := at > 0 && n == at
+	if inject {
+		p.injected++
+	}
+	p.mu.Unlock()
+	if inject {
+		return fmt.Errorf("%w (cost evaluation %d)", ErrInjected, n)
+	}
+	return nil
+}
+
+// OverrunFactor returns the charged-cost multiplier (1 when disabled).
+// Nil-safe.
+func (p *Plan) OverrunFactor() float64 {
+	if p == nil || p.BudgetOverrun <= 1 {
+		return 1
+	}
+	return p.BudgetOverrun
+}
+
+// Injected reports how many faults the plan has injected so far.
+func (p *Plan) Injected() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected
+}
+
+// Execs reports how many executions the plan has observed.
+func (p *Plan) Execs() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.execs
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Scenario returns a deterministic seeded fault plan for chaos suites: the
+// seed picks a fault class (clean error, transient error burst, panic, or
+// cost-eval error) and its trigger point. Identical seeds yield identical
+// plans, so failures found by `make chaos` replay exactly.
+func Scenario(seed int64) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{}
+	switch rng.Intn(4) {
+	case 0: // single clean failure early in discovery
+		p.FailExecAt = 1 + rng.Intn(3)
+	case 1: // transient burst: fails, then recovers under retry
+		p.FailExecAt = 1 + rng.Intn(3)
+		p.FailExecCount = 1 + rng.Intn(2)
+	case 2: // operator panic
+		p.PanicExecAt = 1 + rng.Intn(4)
+	case 3: // cost-model evaluation failure
+		p.FailCostEvalAt = 1 + rng.Intn(4)
+	}
+	return p
+}

@@ -1,0 +1,139 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsNoop(t *testing.T) {
+	var p *Plan
+	if err := p.BeforeExec(context.Background()); err != nil {
+		t.Fatalf("nil BeforeExec: %v", err)
+	}
+	if err := p.OnCostEval(); err != nil {
+		t.Fatalf("nil OnCostEval: %v", err)
+	}
+	if f := p.OverrunFactor(); f != 1 {
+		t.Fatalf("nil OverrunFactor = %g", f)
+	}
+	if p.Injected() != 0 || p.Execs() != 0 {
+		t.Fatal("nil counters nonzero")
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("background context carries a plan")
+	}
+	p := &Plan{FailExecAt: 1}
+	ctx := With(context.Background(), p)
+	if From(ctx) != p {
+		t.Fatal("plan not recovered from context")
+	}
+	if got := With(context.Background(), nil); From(got) != nil {
+		t.Fatal("nil plan attached")
+	}
+}
+
+func TestFailWindow(t *testing.T) {
+	p := &Plan{FailExecAt: 2, FailExecCount: 2}
+	ctx := context.Background()
+	if err := p.BeforeExec(ctx); err != nil {
+		t.Fatalf("exec 1 should pass: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.BeforeExec(ctx); !errors.Is(err, ErrInjected) {
+			t.Fatalf("exec %d: want ErrInjected, got %v", 2+i, err)
+		}
+	}
+	if err := p.BeforeExec(ctx); err != nil {
+		t.Fatalf("exec 4 should pass: %v", err)
+	}
+	if p.Injected() != 2 || p.Execs() != 4 {
+		t.Fatalf("injected=%d execs=%d", p.Injected(), p.Execs())
+	}
+}
+
+func TestFailCountDefaultsToOne(t *testing.T) {
+	p := &Plan{FailExecAt: 1}
+	if err := p.BeforeExec(context.Background()); !IsInjected(err) {
+		t.Fatalf("exec 1: want injected, got %v", err)
+	}
+	if err := p.BeforeExec(context.Background()); err != nil {
+		t.Fatalf("exec 2 should pass: %v", err)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := &Plan{PanicExecAt: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = p.BeforeExec(context.Background())
+}
+
+func TestCostEvalInjection(t *testing.T) {
+	p := &Plan{FailCostEvalAt: 2}
+	if err := p.OnCostEval(); err != nil {
+		t.Fatalf("eval 1: %v", err)
+	}
+	if err := p.OnCostEval(); !IsInjected(err) {
+		t.Fatalf("eval 2: want injected, got %v", err)
+	}
+	if err := p.OnCostEval(); err != nil {
+		t.Fatalf("eval 3: %v", err)
+	}
+}
+
+func TestLatencyHonoursDeadline(t *testing.T) {
+	p := &Plan{Latency: 5 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := p.BeforeExec(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("deadline not enforced promptly: %v", took)
+	}
+}
+
+func TestOverrunFactor(t *testing.T) {
+	if f := (&Plan{BudgetOverrun: 2.5}).OverrunFactor(); f != 2.5 {
+		t.Fatalf("factor = %g", f)
+	}
+	if f := (&Plan{BudgetOverrun: 0.5}).OverrunFactor(); f != 1 {
+		t.Fatalf("sub-1 factor = %g, want disabled", f)
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := Scenario(seed), Scenario(seed)
+		if *aConf(a) != *aConf(b) {
+			t.Fatalf("seed %d: scenarios differ", seed)
+		}
+		if c := aConf(a); c.FailExecAt == 0 && c.PanicExecAt == 0 && c.FailCostEvalAt == 0 {
+			t.Fatalf("seed %d: scenario injects nothing", seed)
+		}
+	}
+}
+
+// aConf extracts the comparable configuration of a plan (counters and mutex
+// excluded).
+func aConf(p *Plan) *struct {
+	FailExecAt, FailExecCount, PanicExecAt, FailCostEvalAt int
+	Latency                                                time.Duration
+	BudgetOverrun                                          float64
+} {
+	return &struct {
+		FailExecAt, FailExecCount, PanicExecAt, FailCostEvalAt int
+		Latency                                                time.Duration
+		BudgetOverrun                                          float64
+	}{p.FailExecAt, p.FailExecCount, p.PanicExecAt, p.FailCostEvalAt, p.Latency, p.BudgetOverrun}
+}

@@ -8,6 +8,7 @@
 package metrics
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -57,6 +58,16 @@ type SweepResult struct {
 // Sweep evaluates the strategy at (a sample of) every grid cell as the
 // true location and aggregates the sub-optimalities.
 func Sweep(s *ess.Space, run RunFunc, opts SweepOptions) SweepResult {
+	res, _ := SweepContext(context.Background(), s, run, opts)
+	return res
+}
+
+// SweepContext is Sweep with cancellation: the context is polled between
+// location evaluations (workers stop claiming new cells once it is done),
+// and the partial aggregate computed so far is returned with the context's
+// error. Locations never evaluated hold a zero sub-optimality and are
+// excluded from the abort-time aggregate by the early return.
+func SweepContext(ctx context.Context, s *ess.Space, run RunFunc, opts SweepOptions) (SweepResult, error) {
 	g := s.Grid
 	cells := pickCells(g.Size(), opts)
 	res := SweepResult{Cells: cells, SubOpt: make([]float64, len(cells)), MSOCell: -1}
@@ -68,7 +79,7 @@ func Sweep(s *ess.Space, run RunFunc, opts SweepOptions) SweepResult {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= len(cells) {
 						return
@@ -81,8 +92,14 @@ func Sweep(s *ess.Space, run RunFunc, opts SweepOptions) SweepResult {
 		wg.Wait()
 	} else {
 		for i, ci := range cells {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
 			res.SubOpt[i] = run(g.Location(ci)) / s.CostAt(ci)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
 	}
 
 	sum := 0.0
@@ -96,7 +113,7 @@ func Sweep(s *ess.Space, run RunFunc, opts SweepOptions) SweepResult {
 	if len(cells) > 0 {
 		res.ASO = sum / float64(len(cells))
 	}
-	return res
+	return res, nil
 }
 
 // pickCells returns the sweep's cell sample: every cell when within budget,

@@ -1,7 +1,10 @@
 package rowexec
 
 import (
+	"context"
+
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/plan"
 )
 
@@ -16,17 +19,31 @@ type Adapter struct {
 	E *Engine
 }
 
-var _ engine.Executor = (*Adapter)(nil)
+var _ engine.ContextExecutor = (*Adapter)(nil)
 
 // Execute runs the plan on real rows under the cost budget.
 func (a *Adapter) Execute(p *plan.Plan, budget float64) engine.Result {
-	res, err := a.E.Run(p, budget)
-	if err != nil {
-		// Non-budget errors surface as incomplete executions charged their
-		// budget; the discovery loops treat them like expiries.
-		return engine.Result{Completed: false, Spent: budget}
+	res, _ := a.ExecuteCtx(context.Background(), p, budget)
+	return res
+}
+
+// ExecuteCtx runs the plan on real rows with cancellation (the row loop
+// polls the context) and fault injection from any plan on the context.
+func (a *Adapter) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (engine.Result, error) {
+	if err := faults.From(ctx).BeforeExec(ctx); err != nil {
+		return engine.Result{}, err
 	}
-	return engine.Result{Completed: res.Completed, Spent: res.Spent}
+	res, err := a.E.RunContext(ctx, p, budget)
+	if err != nil {
+		if ctx.Err() != nil {
+			return engine.Result{}, err
+		}
+		// Non-budget, non-cancellation errors surface as incomplete
+		// executions charged their budget; the discovery loops treat them
+		// like expiries.
+		return engine.Result{Completed: false, Spent: budget}, nil
+	}
+	return engine.Result{Completed: res.Completed, Spent: res.Spent}, nil
 }
 
 // ExecuteSpill runs the epp subtree on real rows, deriving the learnt
@@ -34,13 +51,25 @@ func (a *Adapter) Execute(p *plan.Plan, budget float64) engine.Result {
 // partial observation otherwise (a conservative lower bound — output so
 // far over the input cross product).
 func (a *Adapter) ExecuteSpill(p *plan.Plan, dim int, budget float64) (engine.SpillResult, bool) {
+	res, ok, _ := a.ExecuteSpillCtx(context.Background(), p, dim, budget)
+	return res, ok
+}
+
+// ExecuteSpillCtx is ExecuteSpill with cancellation and fault injection.
+func (a *Adapter) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, budget float64) (engine.SpillResult, bool, error) {
+	if err := faults.From(ctx).BeforeExec(ctx); err != nil {
+		return engine.SpillResult{}, false, err
+	}
 	joinID := a.E.Query.EPPs[dim]
 	if p.FindJoinNode(joinID) == nil {
-		return engine.SpillResult{}, false
+		return engine.SpillResult{}, false, nil
 	}
-	res, st, err := a.E.SpillRun(p, dim, budget)
+	res, st, err := a.E.SpillRunContext(ctx, p, dim, budget)
 	if err != nil {
-		return engine.SpillResult{}, false
+		if ctx.Err() != nil {
+			return engine.SpillResult{}, false, err
+		}
+		return engine.SpillResult{}, false, nil
 	}
 	out := engine.SpillResult{
 		Completed: res.Completed,
@@ -62,7 +91,7 @@ func (a *Adapter) ExecuteSpill(p *plan.Plan, dim int, budget float64) (engine.Sp
 			out.Learned = ObservedSelectivity(full)
 		}
 	}
-	return out, true
+	return out, true, nil
 }
 
 func subRootStats(res Result, p *plan.Plan, joinID int) *NodeStats {

@@ -1,6 +1,7 @@
 package rowexec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -47,16 +48,33 @@ func (s schema) find(rel int, col string) int {
 	return -1
 }
 
-// meter accumulates work in cost-model units and enforces the budget.
+// meter accumulates work in cost-model units and enforces the budget, and —
+// when a context is attached — polls for cancellation at operator-row
+// granularity so a deadline aborts a long scan or join mid-stream.
 type meter struct {
 	spent  float64
 	budget float64
+	ctx    context.Context
+	ops    int
 }
+
+// ctxPollMask controls how often the meter polls the context: every
+// (mask+1) charges. Charges are per-tuple, so 1024 keeps the poll off the
+// hot path while bounding cancellation latency to ~a thousand rows.
+const ctxPollMask = 1023
 
 func (m *meter) charge(units float64) error {
 	m.spent += units
 	if m.spent > m.budget {
 		return ErrBudget
+	}
+	if m.ctx != nil {
+		m.ops++
+		if m.ops&ctxPollMask == 0 {
+			if err := m.ctx.Err(); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
@@ -85,7 +103,14 @@ type Result struct {
 // Run executes the plan to completion or budget exhaustion. A non-positive
 // budget means unlimited.
 func (e *Engine) Run(p *plan.Plan, budget float64) (Result, error) {
-	return e.runNode(p.Root, budget)
+	return e.RunContext(context.Background(), p, budget)
+}
+
+// RunContext is Run with cancellation: the work meter polls the context at
+// row granularity, so a deadline or cancel aborts the execution mid-operator
+// with the context's error.
+func (e *Engine) RunContext(ctx context.Context, p *plan.Plan, budget float64) (Result, error) {
+	return e.runNode(ctx, p.Root, budget)
 }
 
 // SpillRun executes only the subtree rooted at the node applying the ESS
@@ -94,12 +119,17 @@ func (e *Engine) Run(p *plan.Plan, budget float64) (Result, error) {
 // observed output count; combined with the input cardinalities it yields
 // the monitored selectivity.
 func (e *Engine) SpillRun(p *plan.Plan, dim int, budget float64) (Result, *NodeStats, error) {
+	return e.SpillRunContext(context.Background(), p, dim, budget)
+}
+
+// SpillRunContext is SpillRun with cancellation (see RunContext).
+func (e *Engine) SpillRunContext(ctx context.Context, p *plan.Plan, dim int, budget float64) (Result, *NodeStats, error) {
 	joinID := e.Query.EPPs[dim]
 	sub := p.Subtree(joinID)
 	if sub == nil {
 		return Result{}, nil, fmt.Errorf("rowexec: plan does not apply epp dimension %d", dim)
 	}
-	res, err := e.runNode(sub.Root, budget)
+	res, err := e.runNode(ctx, sub.Root, budget)
 	if err != nil {
 		return res, nil, err
 	}
@@ -116,11 +146,11 @@ func ObservedSelectivity(st *NodeStats) float64 {
 	return float64(st.OutRows) / (float64(st.LeftRows) * float64(st.RightRows))
 }
 
-func (e *Engine) runNode(root *plan.Node, budget float64) (Result, error) {
+func (e *Engine) runNode(ctx context.Context, root *plan.Node, budget float64) (Result, error) {
 	if budget <= 0 {
 		budget = math.Inf(1)
 	}
-	m := &meter{budget: budget}
+	m := &meter{budget: budget, ctx: ctx}
 	stats := map[*plan.Node]*NodeStats{}
 	_, rows, err := e.exec(root, m, stats)
 	res := Result{
@@ -221,7 +251,10 @@ func (e *Engine) exec(n *plan.Node, m *meter, stats map[*plan.Node]*NodeStats) (
 		}
 		st.LeftRows, st.RightRows = int64(len(lrows)), int64(len(rrows))
 		key := e.Query.Joins[n.JoinIDs[0]]
-		li, ri := joinCols(lsch, rsch, key)
+		li, ri, err := joinCols(lsch, rsch, key)
+		if err != nil {
+			return nil, nil, err
+		}
 		ht := make(map[Value][]int, len(rrows))
 		for idx, r := range rrows {
 			if err := m.charge(p.CPUOperCost + p.HashQualCost); err != nil {
@@ -260,7 +293,10 @@ func (e *Engine) exec(n *plan.Node, m *meter, stats map[*plan.Node]*NodeStats) (
 		}
 		st.LeftRows, st.RightRows = int64(len(lrows)), int64(len(rrows))
 		key := e.Query.Joins[n.JoinIDs[0]]
-		li, ri := joinCols(lsch, rsch, key)
+		li, ri, err := joinCols(lsch, rsch, key)
+		if err != nil {
+			return nil, nil, err
+		}
 		sortRows(lrows, li)
 		sortRows(rrows, ri)
 		if err := m.charge(float64(len(lrows)+len(rrows)) * p.CPUOperCost); err != nil {
@@ -443,8 +479,10 @@ func concat(a, b []Value) []Value {
 	return append(out, b...)
 }
 
-// joinCols locates the key columns of a join in the left/right schemas.
-func joinCols(lsch, rsch schema, j query.Join) (li, ri int) {
+// joinCols locates the key columns of a join in the left/right schemas. A
+// malformed plan (key columns absent from both orientations) returns an
+// error rather than panicking, so the executor degrades cleanly.
+func joinCols(lsch, rsch schema, j query.Join) (li, ri int, err error) {
 	li = lsch.find(j.LeftRel, j.Left.Column)
 	ri = rsch.find(j.RightRel, j.Right.Column)
 	if li < 0 || ri < 0 {
@@ -454,9 +492,9 @@ func joinCols(lsch, rsch schema, j query.Join) (li, ri int) {
 		ri = rsch.find(j.LeftRel, j.Left.Column)
 	}
 	if li < 0 || ri < 0 {
-		panic(fmt.Sprintf("rowexec: join %v columns missing from schemas", j))
+		return -1, -1, fmt.Errorf("rowexec: join %v columns missing from schemas", j)
 	}
-	return li, ri
+	return li, ri, nil
 }
 
 // predsMatch evaluates all the listed join predicates over a joined tuple.

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies; every payload the API accepts is a
+// few hundred bytes, so 1 MiB is generous while stopping memory abuse.
+const maxBodyBytes = 1 << 20
+
+// recoverMiddleware converts a panicking handler into a structured JSON 500
+// instead of killing the connection (and, under http.Serve semantics, the
+// goroutine with a stack dump only). The stack is logged server-side; the
+// client sees a stable error shape.
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				// http.ErrAbortHandler is the sentinel for "client went
+				// away"; re-panicking preserves net/http's handling.
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				log.Printf("server: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutMiddleware attaches a per-request deadline to the request context,
+// so session runs and sweeps abort mid-discovery when the budget expires
+// (the handlers pass r.Context() down into the library). Zero disables.
+func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
+	if d <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// limitBodyMiddleware caps request body size.
+func limitBodyMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusForRunError maps a session-layer error to an HTTP status: an
+// expired per-request deadline is a gateway timeout, a client cancellation
+// is 499-like (we use 503 as the closest standard code), anything else is a
+// bad request (validation) — the caller decides which bucket applies.
+func statusForRunError(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}

@@ -19,31 +19,71 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	repro "repro"
 	"repro/internal/workload"
 )
 
+// Config tunes the server's operational guards. The zero value disables all
+// of them (useful in tests that exercise unbounded behaviour).
+type Config struct {
+	// RequestTimeout is the per-request deadline attached to every request
+	// context; run/sweep handlers pass it into the library, so an expired
+	// budget aborts the discovery mid-contour. 0 disables.
+	RequestTimeout time.Duration
+	// SessionTTL evicts sessions idle for longer than this. 0 disables
+	// eviction (the map then grows without bound, as before).
+	SessionTTL time.Duration
+	// EvictInterval is how often the eviction sweep runs (defaults to
+	// SessionTTL/4 when unset and a TTL is configured).
+	EvictInterval time.Duration
+	// MaxSessions rejects new session creation past this registry size
+	// (0 = unlimited), bounding the memory a burst of builds can pin.
+	MaxSessions int
+}
+
+// DefaultConfig returns the production guard rails: 30s request budget,
+// 30min idle session TTL, at most 256 live sessions.
+func DefaultConfig() Config {
+	return Config{
+		RequestTimeout: 30 * time.Second,
+		SessionTTL:     30 * time.Minute,
+		MaxSessions:    256,
+	}
+}
+
 // Server is the HTTP handler set with its session registry.
 type Server struct {
+	cfg      Config
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
+	evictQ   chan struct{} // closed to stop the eviction loop
+	evictWG  sync.WaitGroup
 }
 
 type session struct {
-	id    string
-	query string
-	d     int
-	sess  *repro.Session
+	id       string
+	query    string
+	d        int
+	sess     *repro.Session
+	lastUsed time.Time
 }
 
-// New returns an empty server.
+// New returns an empty server with no operational guards (zero Config).
 func New() *Server {
-	return &Server{sessions: make(map[string]*session)}
+	return NewWithConfig(Config{})
 }
 
-// Handler returns the routed http.Handler.
+// NewWithConfig returns an empty server with the given guard configuration.
+func NewWithConfig(cfg Config) *Server {
+	return &Server{cfg: cfg, sessions: make(map[string]*session)}
+}
+
+// Handler returns the routed http.Handler wrapped with the resilience
+// middleware: panic recovery (structured JSON 500), per-request timeout,
+// and request body limits.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -54,7 +94,70 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
 	mux.HandleFunc("POST /sessions/{id}/run", s.handleRun)
 	mux.HandleFunc("GET /sessions/{id}/sweep", s.handleSweep)
-	return mux
+	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
+}
+
+// StartEviction launches the background sweep that drops sessions idle for
+// longer than the configured TTL. It is a no-op when no TTL is set. Stop
+// with Close.
+func (s *Server) StartEviction() {
+	if s.cfg.SessionTTL <= 0 || s.evictQ != nil {
+		return
+	}
+	interval := s.cfg.EvictInterval
+	if interval <= 0 {
+		interval = s.cfg.SessionTTL / 4
+	}
+	s.evictQ = make(chan struct{})
+	s.evictWG.Add(1)
+	go func() {
+		defer s.evictWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.EvictIdle(time.Now())
+			case <-s.evictQ:
+				return
+			}
+		}
+	}()
+}
+
+// EvictIdle drops every session idle at the given instant for longer than
+// the TTL, returning how many were evicted. Exposed for deterministic
+// tests; the background sweep calls it with time.Now().
+func (s *Server) EvictIdle(now time.Time) int {
+	if s.cfg.SessionTTL <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for id, e := range s.sessions {
+		if now.Sub(e.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			n++
+		}
+	}
+	return n
+}
+
+// SessionCount reports the live session registry size.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Close stops the eviction sweep (if running) and waits for it.
+func (s *Server) Close() {
+	if s.evictQ != nil {
+		close(s.evictQ)
+		s.evictWG.Wait()
+		s.evictQ = nil
+	}
 }
 
 // queryInfo is one /queries entry.
@@ -127,6 +230,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.GridRes = req.GridRes
 	}
+	if s.cfg.MaxSessions > 0 {
+		s.mu.Lock()
+		full := len(s.sessions) >= s.cfg.MaxSessions
+		s.mu.Unlock()
+		if full {
+			writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
+			return
+		}
+	}
 	sess, err := repro.NewBenchmarkSession(sp, opts)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
@@ -135,7 +247,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("s%d", s.nextID)
-	entry := &session{id: id, query: sp.Name, d: sess.D(), sess: sess}
+	entry := &session{id: id, query: sp.Name, d: sess.D(), sess: sess, lastUsed: time.Now()}
 	s.sessions[id] = entry
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, s.info(entry))
@@ -156,6 +268,9 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 	id := r.PathValue("id")
 	s.mu.Lock()
 	e, ok := s.sessions[id]
+	if ok {
+		e.lastUsed = time.Now()
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
@@ -187,6 +302,10 @@ type runResponse struct {
 	Guarantee   float64 `json:"guarantee,omitempty"`
 	Steps       int     `json:"steps"`
 	Trace       string  `json:"trace"`
+	// Degraded reports the run fell back to the Native plan (the guarantee
+	// field is then omitted — the MSO bound no longer applies).
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -204,17 +323,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := e.sess.Run(algo, repro.Location(req.Truth))
+	res, err := e.sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, statusForRunError(err), err)
 		return
 	}
 	resp := runResponse{
 		Algorithm: algo.String(), TotalCost: res.TotalCost,
 		OptimalCost: res.OptimalCost, SubOpt: res.SubOpt,
 		Steps: len(res.Steps), Trace: res.Trace,
+		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
 	}
-	if g := e.sess.Guarantee(algo); g < 1e300 {
+	if g := e.sess.Guarantee(algo); g < 1e300 && !res.Degraded {
 		resp.Guarantee = g
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -247,9 +367,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sum, err := e.sess.Sweep(algo, max)
+	sum, err := e.sess.SweepContext(r.Context(), algo, max)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		status := statusForRunError(err)
+		if status == http.StatusBadRequest {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sweepResponse{

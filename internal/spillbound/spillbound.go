@@ -8,6 +8,7 @@
 package spillbound
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -134,6 +135,16 @@ func (r *Runner) maxCell(cells []int, dim int, learned map[int]bool) (cell int, 
 // Run performs SpillBound discovery against the engine's hidden true
 // location and returns the full outcome (Algorithm 1).
 func (r *Runner) Run(e engine.Executor) Outcome {
+	out, _ := r.RunContext(context.Background(), e)
+	return out
+}
+
+// RunContext is Run with cancellation and error-aware execution: the
+// context is checked at every contour iteration and spill boundary, and on
+// abort the partial outcome is returned with the error so the caller can
+// degrade (fall back to the Native plan) or propagate the cancellation.
+func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, error) {
+	ce := engine.AsContextExecutor(e)
 	s := r.Space
 	g := s.Grid
 	costs := s.ContourCosts(r.Ratio)
@@ -149,12 +160,15 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 	contourOfSpills := -1
 
 	for i := 0; i < len(costs); {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		free := sub.FreeDims()
 		if len(free) == 1 {
 			// Terminal 1-D phase: plain PlanBouquet over the remaining
 			// dimension, starting from the current contour, in regular
 			// (non-spill) mode — spilling in 1-D weakens the bound.
-			tail := bouquet.RunSubspace(s, s, e, costs, i, sub, 1)
+			tail, err := bouquet.RunSubspaceContext(ctx, s, s, ce, costs, i, sub, 1)
 			for _, st := range tail.Steps {
 				out.Executions = append(out.Executions, Execution{
 					Contour: st.Contour, Dim: -1, PlanID: st.PlanID,
@@ -163,7 +177,7 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 			}
 			out.TotalCost += tail.TotalCost
 			out.Completed = tail.Completed
-			return out
+			return out, err
 		}
 
 		if i != contourOfSpills {
@@ -183,7 +197,10 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 				continue // no contour plan spills on this epp: skip it
 			}
 			p := s.PlanAt(cell)
-			res, ok := e.ExecuteSpill(p, dim, costs[i])
+			res, ok, err := ce.ExecuteSpillCtx(ctx, p, dim, costs[i])
+			if err != nil {
+				return out, err
+			}
 			if !ok {
 				continue
 			}
@@ -218,12 +235,15 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 	// bouquet.RunSubspace's guard.
 	ci := sub.MaxCorner()
 	p := s.PlanAt(ci)
-	res := e.Execute(p, math.Inf(1))
+	res, err := ce.ExecuteCtx(ctx, p, math.Inf(1))
+	if err != nil {
+		return out, err
+	}
 	out.Executions = append(out.Executions, Execution{
 		Contour: len(costs) - 1, Dim: -1, PlanID: s.PlanIDAt(ci),
 		Budget: res.Spent, Spent: res.Spent, Completed: true,
 	})
 	out.TotalCost += res.Spent
 	out.Completed = true
-	return out
+	return out, nil
 }

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/faults"
+)
+
+// This file exposes the operational-robustness surface of the library: the
+// context/deadline contract of the public API, the fault-injection harness,
+// and the degradation ladder configuration. The paper's MSO machinery bounds
+// the damage of adversarial selectivity *estimates*; this layer bounds the
+// damage of adversarial *operations* — a failing or panicking execution
+// step, artificial latency, a budget-overrunning operator — with a fixed
+// ladder: retry the step with exponential backoff, then fall back to the
+// Native (estimate-optimal) plan and report the downgraded guarantee.
+
+// RetryPolicy configures step-level retry with exponential backoff (the
+// middle rung of the degradation ladder). The zero value disables retries;
+// Options.Retry = nil uses the default (2 retries from 1ms, capped at 50ms).
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after a step's first failure.
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each retry doubles
+	// it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (0 = uncapped).
+	MaxBackoff time.Duration
+}
+
+// FaultPlan describes operational faults to inject into a run — the chaos
+// half of the resilience harness. Counters are 1-based over the executions
+// the engine performs; the zero value injects nothing.
+type FaultPlan struct {
+	// FailExecAt makes the Nth execution fail with an injected error
+	// (0 = never).
+	FailExecAt int
+	// FailExecCount is how many consecutive executions fail from
+	// FailExecAt on (0 means 1 when FailExecAt is set). Set it beyond the
+	// retry budget to force the Native fallback.
+	FailExecCount int
+	// PanicExecAt makes the Nth execution panic, simulating an operator
+	// bug; the resilience layer recovers it into an error (0 = never).
+	PanicExecAt int
+	// FailCostEvalAt makes the Nth cost evaluation fail (0 = never).
+	FailCostEvalAt int
+	// Latency adds an artificial delay to every execution, to exercise
+	// deadline enforcement.
+	Latency time.Duration
+	// BudgetOverrun > 1 multiplies every execution's charged cost, like an
+	// operator spending past its assigned budget.
+	BudgetOverrun float64
+}
+
+// internal converts the public plan to the context-threaded form.
+func (fp *FaultPlan) internal() *faults.Plan {
+	if fp == nil {
+		return nil
+	}
+	return &faults.Plan{
+		FailExecAt:     fp.FailExecAt,
+		FailExecCount:  fp.FailExecCount,
+		PanicExecAt:    fp.PanicExecAt,
+		FailCostEvalAt: fp.FailCostEvalAt,
+		Latency:        fp.Latency,
+		BudgetOverrun:  fp.BudgetOverrun,
+	}
+}
+
+// FaultScenario returns a deterministic seeded fault plan: the seed selects
+// a fault class (clean error, transient burst, panic, cost-eval failure)
+// and its trigger point. Identical seeds produce identical plans, so chaos
+// findings replay exactly.
+func FaultScenario(seed int64) *FaultPlan {
+	p := faults.Scenario(seed)
+	return &FaultPlan{
+		FailExecAt:     p.FailExecAt,
+		FailExecCount:  p.FailExecCount,
+		PanicExecAt:    p.PanicExecAt,
+		FailCostEvalAt: p.FailCostEvalAt,
+		Latency:        p.Latency,
+		BudgetOverrun:  p.BudgetOverrun,
+	}
+}
+
+// RunWithFaults is RunContext with the fault plan injected into the
+// execution engine. Injected failures ride the same degradation ladder as
+// real ones: step retry with exponential backoff, then Native-plan fallback
+// with the downgrade recorded in the trace (RunResult.Degraded).
+func (s *Session) RunWithFaults(ctx context.Context, a Algorithm, truth Location, fp *FaultPlan) (RunResult, error) {
+	return s.RunContext(faults.With(ctx, fp.internal()), a, truth)
+}

@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/native"
 	"repro/internal/optimizer"
+	"repro/internal/plan"
 	"repro/internal/query"
 	"repro/internal/spillbound"
 	"repro/internal/sqlmini"
@@ -71,6 +74,9 @@ type Options struct {
 	ContourRatio float64
 	// ReductionLambda is PlanBouquet's anorexic reduction threshold.
 	ReductionLambda float64
+	// Retry configures the degradation ladder's step retry (see
+	// RetryPolicy); nil uses the default (2 retries, 1ms base backoff).
+	Retry *RetryPolicy
 }
 
 // DefaultOptions returns the paper-faithful defaults with a moderate grid.
@@ -191,6 +197,17 @@ type RunResult struct {
 	SubOpt float64
 	// Trace is a human-readable execution transcript.
 	Trace string
+	// Retries counts the step retry attempts the resilience layer performed
+	// (transient failures absorbed without degrading).
+	Retries int
+	// Degraded reports that the robust discovery failed mid-run (after
+	// exhausting retries) and the session fell back to the Native
+	// estimate-optimal plan; the MSO guarantee no longer applies and the
+	// trace records the downgrade.
+	Degraded bool
+	// DegradedReason is the terminal failure that forced the fallback
+	// (empty when Degraded is false).
+	DegradedReason string
 }
 
 // newModel builds the cost model for a bound query (shared by the session
@@ -203,11 +220,36 @@ func newModel(q *query.Query, p CostParams) (*cost.Model, error) {
 // selectivity location (unknown to the algorithm; used only by the
 // simulated executor) and reports cost and sub-optimality.
 func (s *Session) Run(a Algorithm, truth Location) (RunResult, error) {
-	return s.run(a, truth, nil)
+	return s.runContext(context.Background(), a, truth, nil)
+}
+
+// RunContext is Run with cancellation and resilience: the context's
+// deadline/cancel aborts the discovery at the next contour or execution
+// boundary (returning the context's error), fault plans attached via
+// RunWithFaults inject failures, and a step that keeps failing past the
+// retry policy degrades the run to the Native plan instead of erroring out
+// (see RunResult.Degraded).
+func (s *Session) RunContext(ctx context.Context, a Algorithm, truth Location) (RunResult, error) {
+	return s.runContext(ctx, a, truth, nil)
 }
 
 // run is Run with an optional injected cost-model error.
 func (s *Session) run(a Algorithm, truth Location, costErr engine.CostErrorFn) (RunResult, error) {
+	return s.runContext(context.Background(), a, truth, costErr)
+}
+
+// retryPolicy resolves the session's step-retry configuration.
+func (s *Session) retryPolicy() engine.Policy {
+	if r := s.opts.Retry; r != nil {
+		return engine.Policy{MaxRetries: r.MaxRetries, BaseBackoff: r.BaseBackoff, MaxBackoff: r.MaxBackoff}
+	}
+	return engine.DefaultPolicy()
+}
+
+// runContext drives one robust processing run with the full degradation
+// ladder: algorithm → step retry with exponential backoff → Native-plan
+// fallback.
+func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, costErr engine.CostErrorFn) (RunResult, error) {
 	if len(truth) != s.D() {
 		return RunResult{}, fmt.Errorf("repro: truth has %d dims, query has %d epps", len(truth), s.D())
 	}
@@ -216,25 +258,33 @@ func (s *Session) run(a Algorithm, truth Location, costErr engine.CostErrorFn) (
 			return RunResult{}, fmt.Errorf("repro: selectivity %g outside (0,1]", v)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
 	opt, err := s.optimalCost(truth)
 	if err != nil {
 		return RunResult{}, err
 	}
 	res := RunResult{Algorithm: a, OptimalCost: opt}
-	e := engine.New(s.model, truth)
+	e, err := engine.NewChecked(s.model, truth)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("repro: %w", err)
+	}
 	e.CostError = costErr
+	rex := &engine.Resilient{Exec: e, Policy: s.retryPolicy()}
+
+	var runErr error
 	switch a {
 	case Native:
-		est := s.EstimateLocation()
-		o, err := optimizer.New(s.model)
+		p, err := s.nativePlan()
 		if err != nil {
 			return RunResult{}, err
 		}
-		p, _ := o.Optimize(est)
 		res.TotalCost = s.model.Eval(p, truth)
-		res.Trace = fmt.Sprintf("native: plan at estimate %v, cost %.4g\n", est, res.TotalCost)
+		res.Trace = fmt.Sprintf("native: plan at estimate %v, cost %.4g\n", s.EstimateLocation(), res.TotalCost)
 	case PlanBouquet:
-		out := bouquet.Run(s.diag, e, s.opts.ContourRatio)
+		out, rerr := bouquet.RunContext(ctx, s.diag, rex, s.opts.ContourRatio)
+		runErr = rerr
 		res.TotalCost = out.TotalCost
 		for _, st := range out.Steps {
 			res.Steps = append(res.Steps, ExecutionStep{
@@ -244,12 +294,14 @@ func (s *Session) run(a Algorithm, truth Location, costErr engine.CostErrorFn) (
 			res.Trace += st.String() + "\n"
 		}
 	case SpillBound:
-		out := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).Run(e)
+		out, rerr := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
+		runErr = rerr
 		res.TotalCost = out.TotalCost
 		res.Steps = convertSteps(out.Executions)
 		res.Trace = out.Trace()
 	case AlignedBound:
-		out := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).Run(e)
+		out, rerr := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
+		runErr = rerr
 		res.TotalCost = out.TotalCost
 		for _, x := range out.Executions {
 			res.Steps = append(res.Steps, stepFrom(x.Execution))
@@ -258,7 +310,48 @@ func (s *Session) run(a Algorithm, truth Location, costErr engine.CostErrorFn) (
 	default:
 		return RunResult{}, fmt.Errorf("repro: unknown algorithm %v", a)
 	}
+	res.Retries = rex.Retries()
+	for _, ev := range rex.Events() {
+		res.Trace += "resilience: " + ev + "\n"
+	}
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+			return RunResult{}, fmt.Errorf("repro: run aborted: %w", runErr)
+		}
+		return s.degrade(res, a, truth, runErr)
+	}
 	res.SubOpt = res.TotalCost / opt
+	return res, nil
+}
+
+// nativePlan optimizes at the statistics estimate — the traditional plan
+// and the bottom rung of the degradation ladder.
+func (s *Session) nativePlan() (*plan.Plan, error) {
+	o, err := optimizer.New(s.model)
+	if err != nil {
+		return nil, err
+	}
+	p, _ := o.Optimize(s.EstimateLocation())
+	return p, nil
+}
+
+// degrade completes a failed robust run with the Native plan: the partial
+// discovery spend is kept (it was really charged), the estimate-optimal
+// plan's cost at the truth is added, and the trace records that the MSO
+// guarantee no longer holds for this run.
+func (s *Session) degrade(res RunResult, a Algorithm, truth Location, cause error) (RunResult, error) {
+	p, err := s.nativePlan()
+	if err != nil {
+		return RunResult{}, fmt.Errorf("repro: degraded run failed to build native plan: %w (cause: %v)", err, cause)
+	}
+	nat := s.model.Eval(p, truth)
+	res.Degraded = true
+	res.DegradedReason = cause.Error()
+	res.TotalCost += nat
+	res.SubOpt = res.TotalCost / res.OptimalCost
+	res.Trace += fmt.Sprintf("degraded: %v\n", cause)
+	res.Trace += fmt.Sprintf("degraded: falling back to native plan at estimate %v, cost %.4g\n", s.EstimateLocation(), nat)
+	res.Trace += fmt.Sprintf("degraded: guarantee downgraded from %.4g (%v) to +Inf (native, no MSO bound)\n", s.Guarantee(a), a)
 	return res, nil
 }
 
@@ -305,6 +398,13 @@ type SweepSummary struct {
 // every ESS grid cell as the true location. maxLocations caps the sweep
 // (0 = exhaustive).
 func (s *Session) Sweep(a Algorithm, maxLocations int) (SweepSummary, error) {
+	return s.SweepContext(context.Background(), a, maxLocations)
+}
+
+// SweepContext is Sweep with cancellation: the context is polled between
+// location evaluations, and an expired deadline aborts the sweep with the
+// context's error.
+func (s *Session) SweepContext(ctx context.Context, a Algorithm, maxLocations int) (SweepSummary, error) {
 	var run metrics.RunFunc
 	switch a {
 	case Native:
@@ -330,7 +430,10 @@ func (s *Session) Sweep(a Algorithm, maxLocations int) (SweepSummary, error) {
 	default:
 		return SweepSummary{}, fmt.Errorf("repro: unknown algorithm %v", a)
 	}
-	res := metrics.Sweep(s.space, run, metrics.SweepOptions{MaxLocations: maxLocations, Seed: 1})
+	res, err := metrics.SweepContext(ctx, s.space, run, metrics.SweepOptions{MaxLocations: maxLocations, Seed: 1})
+	if err != nil {
+		return SweepSummary{}, fmt.Errorf("repro: sweep aborted: %w", err)
+	}
 	sum := SweepSummary{Algorithm: a, MSO: res.MSO, ASO: res.ASO, Locations: len(res.Cells)}
 	if res.MSOCell >= 0 {
 		sum.WorstLocation = s.space.Grid.Location(res.MSOCell)
