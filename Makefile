@@ -23,7 +23,10 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Resilient|Degrad' ./... -v
 	$(GO) test -race ./internal/faults/ -v
 
+# bench runs the serial-vs-parallel ESS build comparison first, recording
+# the raw results in BENCH_build.json, then the full benchmark suite.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkBuild(Serial|Parallel)$$' -benchmem -json . > BENCH_build.json
 	$(GO) test -bench=. -benchmem -run '^$$'
 
 experiments:

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/workload"
@@ -39,8 +40,16 @@ func BenchmarkOptions() Options {
 
 // NewBenchmarkSession builds a Session for a benchmark query, choosing the
 // matching catalog automatically. A zero opts.GridRes uses the query's
-// recommended resolution.
+// recommended resolution. It is NewBenchmarkSessionContext with a
+// background context.
 func NewBenchmarkSession(bq BenchmarkQuery, opts Options) (*Session, error) {
+	return NewBenchmarkSessionContext(context.Background(), bq, opts)
+}
+
+// NewBenchmarkSessionContext is NewBenchmarkSession with cancellation: the
+// parallel ESS construction aborts with the context's error on cancel or
+// deadline expiry (see NewSessionContext).
+func NewBenchmarkSessionContext(ctx context.Context, bq BenchmarkQuery, opts Options) (*Session, error) {
 	var cat *Catalog
 	switch bq.Catalog {
 	case "imdb":
@@ -58,5 +67,5 @@ func NewBenchmarkSession(bq BenchmarkQuery, opts Options) (*Session, error) {
 	if opts.GridLo == 0 {
 		opts.GridLo = bq.GridLo
 	}
-	return NewSession(cat, bq.SQL, bq.EPPs, opts)
+	return NewSessionContext(ctx, cat, bq.SQL, bq.EPPs, opts)
 }

@@ -28,12 +28,14 @@ func main() {
 		table   = flag.Int("table", 0, "regenerate one table (2-4); 0 = all")
 		extra   = flag.String("extra", "", "extra experiment: platform | job | ratio | delta | correlated")
 		fast    = flag.Bool("fast", false, "use shrunken grids and sweep budgets")
+		workers = flag.Int("workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		asJSON  = flag.Bool("json", false, "emit every experiment's structured results as JSON")
 		summary = flag.Bool("summary", false, "print the four-way native/PB/SB/AB synthesis table")
 	)
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
+	cfg.Workers = *workers
 	if *fast {
 		cfg.MaxLocations = 64
 		cfg.ResOverride = map[string]int{}

@@ -1,18 +1,22 @@
 // Command rqpd serves the robust query processing library over HTTP: build
-// sessions (offline ESS construction) once, then answer per-instance run
-// and sweep requests with guarantees and traces.
+// sessions (offline ESS construction, parallelized across -build-workers)
+// asynchronously, then answer per-instance run and sweep requests with
+// guarantees and traces. The API is versioned under /v1; session creation
+// returns 202 Accepted and the session resource reports build progress
+// until it is ready.
 //
 //	rqpd -addr :8080
-//	curl -s localhost:8080/queries
-//	curl -s -XPOST localhost:8080/sessions -d '{"query":"2D_EQ"}'
-//	curl -s -XPOST localhost:8080/sessions/s1/run \
+//	curl -s localhost:8080/v1/queries
+//	curl -s -XPOST localhost:8080/v1/sessions -d '{"query":"2D_EQ"}'
+//	curl -s localhost:8080/v1/sessions/s1          # poll until "ready"
+//	curl -s -XPOST localhost:8080/v1/sessions/s1/run \
 //	     -d '{"algorithm":"spillbound","truth":[0.04,0.1]}'
 //
 // The daemon carries the operational guard rails of internal/server: panic
 // recovery, per-request timeouts (requests pass their deadline down into
 // the discovery algorithms, which abort mid-contour), a session TTL with
 // background eviction, slowloris-resistant socket timeouts, and graceful
-// shutdown on SIGINT/SIGTERM.
+// shutdown on SIGINT/SIGTERM (in-flight session builds are canceled).
 package main
 
 import (
@@ -33,6 +37,7 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables)")
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "idle session eviction TTL (0 disables)")
 	maxSessions := flag.Int("max-sessions", 256, "live session cap (0 = unlimited)")
+	buildWorkers := flag.Int("build-workers", 0, "ESS build parallelism per session (0 = GOMAXPROCS)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -40,6 +45,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
+		BuildWorkers:   *buildWorkers,
 	})
 	api.StartEviction()
 	defer api.Close()

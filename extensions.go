@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -74,44 +75,18 @@ func LoadSession(cat *Catalog, sql string, epps []string, opts Options, saved io
 	if err != nil {
 		return nil, err
 	}
-	return &Session{
-		opts:  opts,
-		query: q,
-		model: m,
-		space: sp,
-		diag:  bouquet.Reduce(sp, opts.ReductionLambda),
-	}, nil
+	return newSession(opts, q, m, sp)
 }
 
 // NewSessionParallel is NewSession with the ESS enumeration spread over the
 // given number of workers (Sec 7: contour constructions parallelize
-// trivially). The result is identical to NewSession's.
+// trivially). The result is identical to NewSession's. Deprecated in
+// spirit: NewSession now parallelizes by default; this remains as a
+// convenience for callers that want an explicit worker count without
+// touching Options.Workers.
 func NewSessionParallel(cat *Catalog, sql string, epps []string, opts Options, workers int) (*Session, error) {
-	if opts.GridRes < 2 {
-		return nil, fmt.Errorf("repro: grid resolution %d too small", opts.GridRes)
-	}
-	q, err := sqlmini.Parse(cat, sql)
-	if err != nil {
-		return nil, err
-	}
-	if err := q.MarkEPPs(epps...); err != nil {
-		return nil, err
-	}
-	m, err := newModel(q, opts.Params)
-	if err != nil {
-		return nil, err
-	}
-	sp, err := ess.BuildParallel(m, ess.NewGrid(q.D(), opts.GridRes, opts.GridLo), workers)
-	if err != nil {
-		return nil, err
-	}
-	return &Session{
-		opts:  opts,
-		query: q,
-		model: m,
-		space: sp,
-		diag:  bouquet.Reduce(sp, opts.ReductionLambda),
-	}, nil
+	opts.Workers = workers
+	return NewSessionContext(context.Background(), cat, sql, epps, opts)
 }
 
 // RunWithCostError is Run with bounded cost-model error injected into the

@@ -1,10 +1,13 @@
 package ess
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cost"
 	"repro/internal/optimizer"
@@ -63,15 +66,32 @@ func Build(opt *optimizer.Optimizer, g Grid) *Space {
 // running its own optimizer instance over the shared cost model — the
 // paper's Sec 7 observation that "the contour constructions can be carried
 // out in parallel since they do not have any dependence on each other".
-// workers <= 1 falls back to the sequential Build. The result is
-// bit-identical to Build's.
+// workers <= 0 uses GOMAXPROCS. The result is bit-identical to Build's.
 func BuildParallel(m *cost.Model, g Grid, workers int) (*Space, error) {
-	opt, err := optimizer.New(m)
-	if err != nil {
-		return nil, err
+	return BuildParallelContext(context.Background(), m, g, workers, nil)
+}
+
+// BuildProgress observes an in-flight build: done of total grid cells have
+// been optimized. It is invoked concurrently from worker goroutines, so
+// implementations must be safe for concurrent use (an atomic store or a
+// mutex suffices). done is monotone nondecreasing per observer call site
+// only in aggregate; treat each call as "at least done cells finished".
+type BuildProgress func(done, total int)
+
+// BuildParallelContext is BuildParallel with cancellation and progress
+// reporting: the context is polled between optimizer calls (an expired
+// deadline or cancel abandons the build and returns the context's error),
+// and progress, when non-nil, observes the running cell count. workers <= 0
+// uses GOMAXPROCS; the grid is statically partitioned into contiguous
+// ranges, one optimizer instance per worker. Plan numbering follows first
+// appearance in flat cell order, so the resulting Space is identical to the
+// sequential Build's regardless of worker count.
+func BuildParallelContext(ctx context.Context, m *cost.Model, g Grid, workers int, progress BuildProgress) (*Space, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers <= 1 {
-		return Build(opt, g), nil
+	if workers > g.Size() {
+		workers = g.Size()
 	}
 	s := &Space{
 		Grid:    g,
@@ -87,6 +107,8 @@ func BuildParallel(m *cost.Model, g Grid, workers int) (*Space, error) {
 	fps := make([]cellPlan, g.Size())
 
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	total := g.Size()
 	errs := make([]error, workers)
 	chunk := (g.Size() + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -106,13 +128,23 @@ func BuildParallel(m *cost.Model, g Grid, workers int) (*Space, error) {
 				return
 			}
 			for ci := lo; ci < hi; ci++ {
+				if ctx.Err() != nil {
+					return
+				}
 				p, c := o.Optimize(g.Location(ci))
 				s.optCost[ci] = c
 				fps[ci] = cellPlan{fp: p.Fingerprint(), plan: p}
+				n := done.Add(1)
+				if progress != nil {
+					progress(int(n), total)
+				}
 			}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -28,7 +28,7 @@ func recoverMiddleware(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				log.Printf("server: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+				writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("internal error: %v", rec))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -59,17 +59,42 @@ func limitBodyMiddleware(next http.Handler) http.Handler {
 	})
 }
 
-// statusForRunError maps a session-layer error to an HTTP status: an
-// expired per-request deadline is a gateway timeout, a client cancellation
-// is 499-like (we use 503 as the closest standard code), anything else is a
-// bad request (validation) — the caller decides which bucket applies.
-func statusForRunError(err error) int {
+// Stable machine-readable error codes carried in the JSON error envelope.
+const (
+	codeBadRequest      = "bad_request"
+	codeNotFound        = "not_found"
+	codeSessionBuilding = "session_building"
+	codeSessionFailed   = "session_failed"
+	codeTooManySessions = "too_many_sessions"
+	codeTimeout         = "timeout"
+	codeCanceled        = "canceled"
+	codeInternal        = "internal"
+)
+
+// apiError is the uniform JSON error envelope body: every non-2xx response
+// is {"error":{"code":..., "message":...}}.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: err.Error()}})
+}
+
+// runErrorStatus maps a session-layer error to an HTTP status and envelope
+// code: an expired per-request deadline is a gateway timeout, a client
+// cancellation is 499-like (we use 503 as the closest standard code),
+// anything else is a bad request (validation) — the caller decides which
+// bucket applies.
+func runErrorStatus(err error) (int, string) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
+		return http.StatusGatewayTimeout, codeTimeout
 	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable
+		return http.StatusServiceUnavailable, codeCanceled
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, codeBadRequest
 	}
 }

@@ -4,21 +4,42 @@
 // (Sec 7) and answers per-instance processing requests with guarantees,
 // traces and robustness metrics.
 //
-//	POST /sessions                  {"query":"4D_Q91","gridRes":8}
-//	GET  /sessions/{id}             session metadata + guarantees
-//	POST /sessions/{id}/run         {"algorithm":"spillbound","truth":[0.8,0.008,0.05,0.6]}
-//	GET  /sessions/{id}/sweep?algorithm=spillbound&max=200
-//	GET  /queries                   benchmark query list
-//	GET  /healthz
+// The API is versioned under /v1. Session construction is asynchronous:
+// creation returns 202 Accepted immediately while the parallel ESS build
+// saturates the configured workers in the background, and the session
+// resource reports "building" → "ready" (or "failed") with cell-level
+// progress. Run and sweep requests against a session that is not ready are
+// rejected with 409 Conflict.
+//
+//	POST /v1/sessions                  {"query":"4D_Q91","gridRes":8}   → 202 {"id","status":"building","progress":{...}}
+//	GET  /v1/sessions/{id}             session status, progress, metadata + guarantees once ready
+//	POST /v1/sessions/{id}/run         {"algorithm":"spillbound","truth":[0.8,0.008,0.05,0.6]}
+//	GET  /v1/sessions/{id}/sweep?algorithm=spillbound&max=200
+//	GET  /v1/queries                   benchmark query list
+//	GET  /v1/healthz
+//
+// Every error response uses the uniform envelope
+//
+//	{"error":{"code":"not_found","message":"no session \"s9\""}}
+//
+// with stable machine-readable codes: bad_request, not_found,
+// session_building, session_failed, too_many_sessions, timeout, canceled,
+// internal.
+//
+// Deprecated: the unversioned paths (/sessions, /queries, /healthz) remain
+// mounted as aliases of their /v1 counterparts for one release and will be
+// removed in the next; clients should migrate to /v1.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	repro "repro"
@@ -30,10 +51,13 @@ import (
 type Config struct {
 	// RequestTimeout is the per-request deadline attached to every request
 	// context; run/sweep handlers pass it into the library, so an expired
-	// budget aborts the discovery mid-contour. 0 disables.
+	// budget aborts the discovery mid-contour. Session builds are NOT
+	// bounded by it — they run asynchronously on a background context.
+	// 0 disables.
 	RequestTimeout time.Duration
-	// SessionTTL evicts sessions idle for longer than this. 0 disables
-	// eviction (the map then grows without bound, as before).
+	// SessionTTL evicts sessions idle for longer than this. Sessions still
+	// building are never evicted. 0 disables eviction (the map then grows
+	// without bound, as before).
 	SessionTTL time.Duration
 	// EvictInterval is how often the eviction sweep runs (defaults to
 	// SessionTTL/4 when unset and a TTL is configured).
@@ -41,10 +65,13 @@ type Config struct {
 	// MaxSessions rejects new session creation past this registry size
 	// (0 = unlimited), bounding the memory a burst of builds can pin.
 	MaxSessions int
+	// BuildWorkers bounds each session build's parallelism (0 = GOMAXPROCS,
+	// 1 = serial). The built space is identical regardless.
+	BuildWorkers int
 }
 
 // DefaultConfig returns the production guard rails: 30s request budget,
-// 30min idle session TTL, at most 256 live sessions.
+// 30min idle session TTL, at most 256 live sessions, builds on every core.
 func DefaultConfig() Config {
 	return Config{
 		RequestTimeout: 30 * time.Second,
@@ -52,6 +79,18 @@ func DefaultConfig() Config {
 		MaxSessions:    256,
 	}
 }
+
+// Session lifecycle states reported by the API.
+const (
+	statusBuilding = "building"
+	statusReady    = "ready"
+	statusFailed   = "failed"
+)
+
+// buildSession constructs the library session for an accepted create
+// request. A package variable so tests can substitute a gated build and
+// observe the intermediate "building" state deterministically.
+var buildSession = repro.NewBenchmarkSessionContext
 
 // Server is the HTTP handler set with its session registry.
 type Server struct {
@@ -61,14 +100,24 @@ type Server struct {
 	nextID   int
 	evictQ   chan struct{} // closed to stop the eviction loop
 	evictWG  sync.WaitGroup
+	buildWG  sync.WaitGroup
 }
 
 type session struct {
-	id       string
-	query    string
-	d        int
-	sess     *repro.Session
+	id    string
+	query string
+	d     int
+
+	// Guarded by Server.mu.
+	status   string
+	sess     *repro.Session // nil until status == ready
+	buildErr error          // set when status == failed
 	lastUsed time.Time
+	cancel   context.CancelFunc // aborts the in-flight build
+
+	// Build progress, updated lock-free from build workers.
+	cellsDone  atomic.Int64
+	cellsTotal atomic.Int64
 }
 
 // New returns an empty server with no operational guards (zero Config).
@@ -83,17 +132,26 @@ func NewWithConfig(cfg Config) *Server {
 
 // Handler returns the routed http.Handler wrapped with the resilience
 // middleware: panic recovery (structured JSON 500), per-request timeout,
-// and request body limits.
+// and request body limits. Every route is mounted under /v1 and, for one
+// deprecation release, at its legacy unversioned path.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		method, path, ok := strings.Cut(pattern, " ")
+		if !ok {
+			panic("server: route pattern missing method: " + pattern)
+		}
+		mux.HandleFunc(method+" /v1"+path, h)
+		mux.HandleFunc(pattern, h) // legacy unversioned alias
+	}
+	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /queries", s.handleQueries)
-	mux.HandleFunc("POST /sessions", s.handleCreateSession)
-	mux.HandleFunc("GET /sessions/{id}", s.handleGetSession)
-	mux.HandleFunc("POST /sessions/{id}/run", s.handleRun)
-	mux.HandleFunc("GET /sessions/{id}/sweep", s.handleSweep)
+	route("GET /queries", s.handleQueries)
+	route("POST /sessions", s.handleCreateSession)
+	route("GET /sessions/{id}", s.handleGetSession)
+	route("POST /sessions/{id}/run", s.handleRun)
+	route("GET /sessions/{id}/sweep", s.handleSweep)
 	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
 }
 
@@ -125,9 +183,11 @@ func (s *Server) StartEviction() {
 	}()
 }
 
-// EvictIdle drops every session idle at the given instant for longer than
-// the TTL, returning how many were evicted. Exposed for deterministic
-// tests; the background sweep calls it with time.Now().
+// EvictIdle drops every ready or failed session idle at the given instant
+// for longer than the TTL, returning how many were evicted. Sessions still
+// building are exempt — their build is in flight and their lastUsed only
+// advances on completion. Exposed for deterministic tests; the background
+// sweep calls it with time.Now().
 func (s *Server) EvictIdle(now time.Time) int {
 	if s.cfg.SessionTTL <= 0 {
 		return 0
@@ -136,6 +196,9 @@ func (s *Server) EvictIdle(now time.Time) int {
 	defer s.mu.Unlock()
 	n := 0
 	for id, e := range s.sessions {
+		if e.status == statusBuilding {
+			continue
+		}
 		if now.Sub(e.lastUsed) > s.cfg.SessionTTL {
 			delete(s.sessions, id)
 			n++
@@ -151,13 +214,22 @@ func (s *Server) SessionCount() int {
 	return len(s.sessions)
 }
 
-// Close stops the eviction sweep (if running) and waits for it.
+// Close stops the eviction sweep (if running), cancels every in-flight
+// session build, and waits for both to wind down.
 func (s *Server) Close() {
 	if s.evictQ != nil {
 		close(s.evictQ)
 		s.evictWG.Wait()
 		s.evictQ = nil
 	}
+	s.mu.Lock()
+	for _, e := range s.sessions {
+		if e.cancel != nil {
+			e.cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.buildWG.Wait()
 }
 
 // queryInfo is one /queries entry.
@@ -179,9 +251,9 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// createRequest is the POST /sessions payload.
+// createRequest is the POST /v1/sessions payload.
 type createRequest struct {
-	// Query names a benchmark query (see /queries).
+	// Query names a benchmark query (see /v1/queries).
 	Query string `json:"query"`
 	// GridRes overrides the recommended grid resolution (0 = default).
 	GridRes int `json:"gridRes"`
@@ -190,78 +262,131 @@ type createRequest struct {
 	Profile string `json:"profile"`
 }
 
-// sessionInfo describes a built session.
+// buildProgress reports how far an asynchronous session build has come.
+type buildProgress struct {
+	CellsDone  int `json:"cellsDone"`
+	CellsTotal int `json:"cellsTotal"`
+}
+
+// sessionInfo describes a session resource in any lifecycle state; the
+// guarantee block is present only once the build is ready.
 type sessionInfo struct {
-	ID          string  `json:"id"`
-	Query       string  `json:"query"`
-	D           int     `json:"d"`
-	POSPSize    int     `json:"pospSize"`
-	Contours    int     `json:"contours"`
-	PBGuarantee float64 `json:"pbGuarantee"`
-	SBGuarantee float64 `json:"sbGuarantee"`
-	ABLow       float64 `json:"abGuaranteeLow"`
-	ABHigh      float64 `json:"abGuaranteeHigh"`
+	ID          string         `json:"id"`
+	Query       string         `json:"query"`
+	D           int            `json:"d"`
+	Status      string         `json:"status"`
+	Progress    *buildProgress `json:"progress,omitempty"`
+	BuildError  string         `json:"buildError,omitempty"`
+	POSPSize    int            `json:"pospSize,omitempty"`
+	Contours    int            `json:"contours,omitempty"`
+	PBGuarantee float64        `json:"pbGuarantee,omitempty"`
+	SBGuarantee float64        `json:"sbGuarantee,omitempty"`
+	ABLow       float64        `json:"abGuaranteeLow,omitempty"`
+	ABHigh      float64        `json:"abGuaranteeHigh,omitempty"`
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad payload: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
 		return
 	}
 	sp, ok := workload.ByName(req.Query)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown query %q", req.Query))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown query %q", req.Query))
 		return
 	}
 	opts := repro.BenchmarkOptions()
+	opts.Workers = s.cfg.BuildWorkers
 	switch req.Profile {
 	case "", "postgres":
 	case "commercial":
 		opts.Params = repro.CommercialProfile()
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
 		return
 	}
+	res := sp.GridRes
 	if req.GridRes != 0 {
 		if req.GridRes < 2 || req.GridRes > 64 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("gridRes %d outside [2,64]", req.GridRes))
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("gridRes %d outside [2,64]", req.GridRes))
 			return
 		}
 		opts.GridRes = req.GridRes
+		res = req.GridRes
 	}
 	if s.cfg.MaxSessions > 0 {
 		s.mu.Lock()
 		full := len(s.sessions) >= s.cfg.MaxSessions
 		s.mu.Unlock()
 		if full {
-			writeError(w, http.StatusTooManyRequests, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
+			writeError(w, http.StatusTooManyRequests, codeTooManySessions, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
 			return
 		}
 	}
-	sess, err := repro.NewBenchmarkSession(sp, opts)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
-		return
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &session{query: sp.Name, d: sp.D, status: statusBuilding, lastUsed: time.Now(), cancel: cancel}
+	total := 1
+	for i := 0; i < sp.D; i++ {
+		total *= res
 	}
+	e.cellsTotal.Store(int64(total))
+	opts.BuildProgress = func(done, total int) {
+		e.cellsDone.Store(int64(done))
+		e.cellsTotal.Store(int64(total))
+	}
+
 	s.mu.Lock()
 	s.nextID++
-	id := fmt.Sprintf("s%d", s.nextID)
-	entry := &session{id: id, query: sp.Name, d: sess.D(), sess: sess, lastUsed: time.Now()}
-	s.sessions[id] = entry
+	e.id = fmt.Sprintf("s%d", s.nextID)
+	s.sessions[e.id] = e
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, s.info(entry))
+
+	s.buildWG.Add(1)
+	go func() {
+		defer s.buildWG.Done()
+		defer cancel()
+		sess, err := buildSession(ctx, sp, opts)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		e.lastUsed = time.Now()
+		if err != nil {
+			e.status = statusFailed
+			e.buildErr = err
+			return
+		}
+		e.sess = sess
+		e.status = statusReady
+	}()
+
+	writeJSON(w, http.StatusAccepted, s.info(e))
 }
 
+// info snapshots a session resource for the wire. It takes the registry
+// lock; callers must not hold it.
 func (s *Server) info(e *session) sessionInfo {
-	lo, hi := e.sess.GuaranteeRangeAB()
-	return sessionInfo{
-		ID: e.id, Query: e.query, D: e.d,
-		POSPSize: e.sess.POSPSize(), Contours: e.sess.ContourCount(),
-		PBGuarantee: e.sess.Guarantee(repro.PlanBouquet),
-		SBGuarantee: e.sess.Guarantee(repro.SpillBound),
-		ABLow:       lo, ABHigh: hi,
+	s.mu.Lock()
+	status, sess, buildErr := e.status, e.sess, e.buildErr
+	s.mu.Unlock()
+	out := sessionInfo{ID: e.id, Query: e.query, D: e.d, Status: status}
+	switch status {
+	case statusReady:
+		lo, hi := sess.GuaranteeRangeAB()
+		out.POSPSize = sess.POSPSize()
+		out.Contours = sess.ContourCount()
+		out.PBGuarantee = sess.Guarantee(repro.PlanBouquet)
+		out.SBGuarantee = sess.Guarantee(repro.SpillBound)
+		out.ABLow, out.ABHigh = lo, hi
+	case statusFailed:
+		out.BuildError = buildErr.Error()
+	default:
+		out.Progress = &buildProgress{
+			CellsDone:  int(e.cellsDone.Load()),
+			CellsTotal: int(e.cellsTotal.Load()),
+		}
 	}
+	return out
 }
 
 func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool) {
@@ -273,10 +398,30 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no session %q", id))
 		return nil, false
 	}
 	return e, true
+}
+
+// ready resolves a looked-up session to its built library session, writing
+// a 409 Conflict when the build is still in flight or has failed.
+func (s *Server) ready(w http.ResponseWriter, e *session) (*repro.Session, bool) {
+	s.mu.Lock()
+	status, sess, buildErr := e.status, e.sess, e.buildErr
+	s.mu.Unlock()
+	switch status {
+	case statusReady:
+		return sess, true
+	case statusFailed:
+		writeError(w, http.StatusConflict, codeSessionFailed,
+			fmt.Errorf("session %s build failed: %v", e.id, buildErr))
+	default:
+		writeError(w, http.StatusConflict, codeSessionBuilding,
+			fmt.Errorf("session %s is still building (%d/%d cells); retry when status is %q",
+				e.id, e.cellsDone.Load(), e.cellsTotal.Load(), statusReady))
+	}
+	return nil, false
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
@@ -285,7 +430,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// runRequest is the POST /sessions/{id}/run payload.
+// runRequest is the POST /v1/sessions/{id}/run payload.
 type runRequest struct {
 	// Algorithm names the strategy (see repro.ParseAlgorithm).
 	Algorithm string `json:"algorithm"`
@@ -313,19 +458,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess, ok := s.ready(w, e)
+	if !ok {
+		return
+	}
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad payload: %w", err))
+		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
 		return
 	}
 	algo, err := repro.ParseAlgorithm(strings.ToLower(req.Algorithm))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	res, err := e.sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
+	res, err := sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
 	if err != nil {
-		writeError(w, statusForRunError(err), err)
+		status, code := runErrorStatus(err)
+		writeError(w, status, code, err)
 		return
 	}
 	resp := runResponse{
@@ -334,7 +484,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Steps: len(res.Steps), Trace: res.Trace,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
 	}
-	if g := e.sess.Guarantee(algo); g < 1e300 && !res.Degraded {
+	if g := sess.Guarantee(algo); g < 1e300 && !res.Degraded {
 		resp.Guarantee = g
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -354,26 +504,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	sess, ok := s.ready(w, e)
+	if !ok {
+		return
+	}
 	algo, err := repro.ParseAlgorithm(strings.ToLower(r.URL.Query().Get("algorithm")))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
 	max := 0
 	if v := r.URL.Query().Get("max"); v != "" {
 		max, err = strconv.Atoi(v)
 		if err != nil || max < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad max %q", v))
+			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad max %q", v))
 			return
 		}
 	}
-	sum, err := e.sess.SweepContext(r.Context(), algo, max)
+	sum, err := sess.SweepContext(r.Context(), algo, max)
 	if err != nil {
-		status := statusForRunError(err)
+		status, code := runErrorStatus(err)
 		if status == http.StatusBadRequest {
-			status = http.StatusInternalServerError
+			status, code = http.StatusInternalServerError, codeInternal
 		}
-		writeError(w, status, err)
+		writeError(w, status, code, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sweepResponse{
@@ -386,8 +540,4 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/aligned"
 	"repro/internal/bouquet"
@@ -77,6 +78,34 @@ type Options struct {
 	// Retry configures the degradation ladder's step retry (see
 	// RetryPolicy); nil uses the default (2 retries, 1ms base backoff).
 	Retry *RetryPolicy
+	// Workers bounds the parallelism of ESS construction and whole-space
+	// sweeps: 0 uses GOMAXPROCS, 1 forces serial execution. Results are
+	// identical regardless of the worker count.
+	Workers int
+	// SweepSeed drives the deterministic location subsample when a sweep's
+	// MaxLocations budget is exceeded; 0 uses the default seed 1, so
+	// sampled sweeps are reproducible unless explicitly varied.
+	SweepSeed int64
+	// BuildProgress, when non-nil, observes ESS construction progress as
+	// (cells optimized, total cells). It is invoked concurrently from
+	// build workers; implementations must be safe for concurrent use.
+	BuildProgress func(done, total int)
+}
+
+// workers resolves the configured parallelism (0 = GOMAXPROCS).
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
+}
+
+// sweepSeed resolves the sampled-sweep seed (0 = the default seed 1).
+func (o Options) sweepSeed() int64 {
+	if o.SweepSeed == 0 {
+		return 1
+	}
+	return o.SweepSeed
 }
 
 // DefaultOptions returns the paper-faithful defaults with a moderate grid.
@@ -92,19 +121,32 @@ func DefaultOptions() Options {
 
 // Session holds everything needed to process one query robustly: the bound
 // query, its cost model, the explored ESS (POSP + optimal cost surface +
-// contours) and the reduced plan diagram for PlanBouquet.
+// contours), the reduced plan diagram for PlanBouquet, and a shared
+// memoized optimizer answering per-run oracle calls.
 type Session struct {
 	opts  Options
 	query *query.Query
 	model *cost.Model
 	space *ess.Space
 	diag  *bouquet.Diagram
+	opt   *optimizer.Shared
 }
 
 // NewSession parses and binds the SQL against the catalog, marks the given
 // join predicates (rendered "alias.col = alias.col") as error-prone, and
-// builds the ESS by exhaustive optimizer calls over the grid.
+// builds the ESS by exhaustive optimizer calls over the grid, parallelized
+// across Options.Workers (GOMAXPROCS by default). It is NewSessionContext
+// with a background context.
 func NewSession(cat *Catalog, sql string, epps []string, opts Options) (*Session, error) {
+	return NewSessionContext(context.Background(), cat, sql, epps, opts)
+}
+
+// NewSessionContext is NewSession with cancellation: the ESS construction —
+// the session's long-running offline phase — polls the context between
+// optimizer calls and abandons the build with the context's error on
+// cancel or deadline expiry. Options.BuildProgress, when set, observes the
+// build as it runs.
+func NewSessionContext(ctx context.Context, cat *Catalog, sql string, epps []string, opts Options) (*Session, error) {
 	if opts.GridRes < 2 {
 		return nil, fmt.Errorf("repro: grid resolution %d too small", opts.GridRes)
 	}
@@ -119,17 +161,28 @@ func NewSession(cat *Catalog, sql string, epps []string, opts Options) (*Session
 	if err != nil {
 		return nil, err
 	}
-	o, err := optimizer.New(m)
+	grid := ess.NewGrid(q.D(), opts.GridRes, opts.GridLo)
+	sp, err := ess.BuildParallelContext(ctx, m, grid, opts.workers(), ess.BuildProgress(opts.BuildProgress))
 	if err != nil {
 		return nil, err
 	}
-	s := ess.Build(o, ess.NewGrid(q.D(), opts.GridRes, opts.GridLo))
+	return newSession(opts, q, m, sp)
+}
+
+// newSession assembles a Session around a built space: the PlanBouquet
+// diagram and the session-lifetime shared optimizer.
+func newSession(opts Options, q *query.Query, m *cost.Model, sp *ess.Space) (*Session, error) {
+	o, err := optimizer.NewShared(m)
+	if err != nil {
+		return nil, err
+	}
 	return &Session{
 		opts:  opts,
 		query: q,
 		model: m,
-		space: s,
-		diag:  bouquet.Reduce(s, opts.ReductionLambda),
+		space: sp,
+		diag:  bouquet.Reduce(sp, opts.ReductionLambda),
+		opt:   o,
 	}, nil
 }
 
@@ -325,13 +378,10 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 }
 
 // nativePlan optimizes at the statistics estimate — the traditional plan
-// and the bottom rung of the degradation ladder.
+// and the bottom rung of the degradation ladder. The session's shared
+// optimizer memoizes the result, so repeated runs pay one optimization.
 func (s *Session) nativePlan() (*plan.Plan, error) {
-	o, err := optimizer.New(s.model)
-	if err != nil {
-		return nil, err
-	}
-	p, _ := o.Optimize(s.EstimateLocation())
+	p, _ := s.opt.Optimize(s.EstimateLocation())
 	return p, nil
 }
 
@@ -370,13 +420,10 @@ func stepFrom(x spillbound.Execution) ExecutionStep {
 	}
 }
 
-// optimalCost optimizes at the exact (possibly off-grid) truth.
+// optimalCost optimizes at the exact (possibly off-grid) truth through the
+// session's shared memoized optimizer.
 func (s *Session) optimalCost(truth Location) (float64, error) {
-	o, err := optimizer.New(s.model)
-	if err != nil {
-		return 0, err
-	}
-	_, c := o.Optimize(truth)
+	_, c := s.opt.Optimize(truth)
 	return c, nil
 }
 
@@ -403,7 +450,10 @@ func (s *Session) Sweep(a Algorithm, maxLocations int) (SweepSummary, error) {
 
 // SweepContext is Sweep with cancellation: the context is polled between
 // location evaluations, and an expired deadline aborts the sweep with the
-// context's error.
+// context's error. The sweep is sharded across Options.Workers goroutines
+// (GOMAXPROCS by default); MSO, ASO and the worst cell are identical to a
+// serial sweep regardless of worker count, and sampled sweeps draw their
+// locations from Options.SweepSeed.
 func (s *Session) SweepContext(ctx context.Context, a Algorithm, maxLocations int) (SweepSummary, error) {
 	var run metrics.RunFunc
 	switch a {
@@ -430,7 +480,11 @@ func (s *Session) SweepContext(ctx context.Context, a Algorithm, maxLocations in
 	default:
 		return SweepSummary{}, fmt.Errorf("repro: unknown algorithm %v", a)
 	}
-	res, err := metrics.SweepContext(ctx, s.space, run, metrics.SweepOptions{MaxLocations: maxLocations, Seed: 1})
+	res, err := metrics.SweepContext(ctx, s.space, run, metrics.SweepOptions{
+		MaxLocations: maxLocations,
+		Seed:         s.opts.sweepSeed(),
+		Workers:      s.opts.workers(),
+	})
 	if err != nil {
 		return SweepSummary{}, fmt.Errorf("repro: sweep aborted: %w", err)
 	}
