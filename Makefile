@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos bench experiments clean
+.PHONY: all build test race vet chaos bench experiments metrics-smoke clean
 
 all: vet build test
 
@@ -31,6 +31,13 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments
+
+# metrics-smoke boots rqpd on a local port, drives a session through
+# build → run → sweep, scrapes GET /v1/metrics, and validates the
+# Prometheus text exposition (parse, histogram invariants, non-zero
+# run/build/request families).
+metrics-smoke:
+	$(GO) run ./cmd/metricssmoke
 
 clean:
 	$(GO) clean ./...

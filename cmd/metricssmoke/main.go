@@ -1,0 +1,240 @@
+// Command metricssmoke is an end-to-end smoke test for the daemon's
+// observability surface, wired to `make metrics-smoke`. It builds rqpd,
+// boots it on a local port, drives one session through build → run →
+// sweep, scrapes GET /v1/metrics, and validates the Prometheus text
+// exposition with telemetry.ParseProm (cumulative buckets, terminal
+// +Inf) plus the presence and non-zeroness of the key families. Exits
+// non-zero on any failure; the daemon is shut down with SIGTERM so the
+// graceful path is exercised too.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metricssmoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "metricssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "rqpd")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rqpd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build rqpd: %v\n%s", err, out)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(bin, "-addr", addr)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	base := "http://" + addr
+	if err := await(base+"/v1/healthz", 10*time.Second); err != nil {
+		return fmt.Errorf("daemon never became healthy: %w", err)
+	}
+
+	// One full workflow so the run/build/sweep metrics are non-zero.
+	id, err := createSession(base, `{"query":"2D_EQ","gridRes":6}`)
+	if err != nil {
+		return err
+	}
+	if err := awaitReady(base, id, 60*time.Second); err != nil {
+		return err
+	}
+	if err := post(base+"/v1/sessions/"+id+"/run",
+		`{"algorithm":"spillbound","truth":[0.04,0.1]}`); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if err := get(base + "/v1/sessions/" + id + "/sweep?algorithm=spillbound&max=16"); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	// One hit on a deprecated unversioned alias.
+	if err := get(base + "/healthz"); err != nil {
+		return err
+	}
+
+	return scrape(base)
+}
+
+// scrape fetches /v1/metrics and validates the exposition.
+func scrape(base string) error {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fams, err := telemetry.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("exposition does not parse: %w", err)
+	}
+	for _, want := range []string{
+		"rqp_requests_total",
+		"rqp_request_duration_seconds",
+		"rqp_deprecated_requests_total",
+		"rqp_runs_total",
+		"rqp_suboptimality",
+		"rqp_session_builds_total",
+		"rqp_sessions",
+	} {
+		f, ok := fams[want]
+		if !ok {
+			return fmt.Errorf("exposition missing family %s", want)
+		}
+		total := 0.0
+		for _, s := range f.Samples {
+			total += s.Value
+		}
+		if total <= 0 {
+			return fmt.Errorf("family %s is all-zero after a run + sweep", want)
+		}
+	}
+	log.Printf("scraped %d families, %d bytes, exposition valid", len(fams), len(body))
+	return nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func await(url string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if err := get(url); err == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for %s", url)
+}
+
+func createSession(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("create session: status %d: %s", resp.StatusCode, b)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	if doc.ID == "" {
+		return "", fmt.Errorf("create session: no id in response")
+	}
+	return doc.ID, nil
+}
+
+func awaitReady(base, id string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/sessions/" + id)
+		if err != nil {
+			return err
+		}
+		var doc struct {
+			Status     string `json:"status"`
+			BuildError string `json:"buildError"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch doc.Status {
+		case "ready":
+			return nil
+		case "failed":
+			return fmt.Errorf("session build failed: %s", doc.BuildError)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return fmt.Errorf("session %s not ready after %v", id, timeout)
+}
+
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+func post(url, body string) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return nil
+}

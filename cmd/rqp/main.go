@@ -10,6 +10,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rowexec"
 	"repro/internal/spillbound"
+	"repro/internal/telemetry"
 	"repro/internal/viz"
 	"repro/internal/workload"
 )
@@ -44,6 +47,7 @@ func main() {
 		plot      = flag.Bool("plot", false, "render the 2D contour map with the discovery trace (2D queries, spillbound only)")
 		explain   = flag.Bool("explain", false, "print the optimal plan at q_a with per-operator rows/costs and its pipeline decomposition")
 		physical  = flag.Int64("physical", -1, "execute on the row engine with this per-relation row cap (0 = catalog cardinality); truth is then emergent from the data")
+		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document (typed telemetry events instead of the textual trace)")
 		sqlText   = flag.String("sql", "", "process a custom SQL query instead of a benchmark one (requires -catalog unless the TPC-DS schema suffices)")
 		catPath   = flag.String("catalog", "", "JSON catalog file for -sql (default: TPC-DS at -sf)")
 		eppsFlag  = flag.String("epps", "", "semicolon-separated error-prone join predicates for -sql (default: auto-identified, up to -d of them)")
@@ -63,13 +67,13 @@ func main() {
 	}
 
 	if *sqlText != "" {
-		if err := runCustom(*sqlText, *catPath, *eppsFlag, *dFlag, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical); err != nil {
+		if err := runCustom(*sqlText, *catPath, *eppsFlag, *dFlag, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rqp:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*queryName, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical); err != nil {
+	if err := run(*queryName, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "rqp:", err)
 		os.Exit(1)
 	}
@@ -78,7 +82,7 @@ func main() {
 // runCustom processes a user-supplied SQL query: load (or default) the
 // catalog, resolve or auto-identify the epps, synthesize a workload spec
 // and reuse the benchmark path.
-func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64) error {
+func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut bool) error {
 	var cat *repro.Catalog
 	if catPath != "" {
 		f, err := os.Open(catPath)
@@ -115,10 +119,10 @@ func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr stri
 		Name: "custom", D: len(epps), SQL: sqlText, EPPs: epps,
 		GridRes: res, GridLo: 1e-6,
 	}
-	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical)
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut)
 }
 
-func run(queryName, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64) error {
+func run(queryName, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut bool) error {
 	sp, ok := workload.ByName(queryName)
 	if !ok {
 		return fmt.Errorf("unknown query %q (use -list)", queryName)
@@ -132,11 +136,11 @@ func run(queryName, algoName, truthStr string, res int, profile string, sf float
 	default:
 		cat = repro.TPCDSCatalog(sf)
 	}
-	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical)
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut)
 }
 
 // runSpec drives one spec over one catalog.
-func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, res int, profile string, plot, explain bool, physical int64) error {
+func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, res int, profile string, plot, explain bool, physical int64, jsonOut bool) error {
 	var params cost.Params
 	switch profile {
 	case "postgres":
@@ -165,24 +169,32 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 	if res == 0 {
 		res = sp.GridRes
 	}
-	fmt.Printf("building ESS for %s (D=%d, %d^%d grid, profile %s)...\n",
+	// With -json the progress commentary moves to stderr so stdout carries
+	// exactly one machine-readable document.
+	info := fmt.Printf
+	if jsonOut {
+		info = func(format string, args ...any) (int, error) {
+			return fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	info("building ESS for %s (D=%d, %d^%d grid, profile %s)...\n",
 		sp.Name, sp.D, res, sp.D, params.Name)
 	s := ess.Build(o, ess.NewGrid(q.D(), res, sp.GridLo))
 	costs := s.ContourCosts(ess.CostDoublingRatio)
-	fmt.Printf("POSP: %d plans | contours: %d | C_min=%.4g C_max=%.4g\n\n",
+	info("POSP: %d plans | contours: %d | C_min=%.4g C_max=%.4g\n\n",
 		len(s.Plans()), len(costs), s.MinCost(), s.MaxCost())
 
 	if physical >= 0 {
-		return runPhysical(q, m, s, algo, physical)
+		return runPhysical(sp, q, m, s, algo, physical, jsonOut)
 	}
 	truth, err := parseTruth(truthStr, q.D(), sp.GridLo)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("true location q_a = %v\n", truth)
+	info("true location q_a = %v\n", truth)
 	optPlan, optCost := o.Optimize(truth)
 	e := engine.New(m, truth)
-	if explain {
+	if explain && !jsonOut {
 		fmt.Println("\noptimal plan at q_a:")
 		fmt.Print(engine.ExplainAt(m, optPlan, truth))
 		fmt.Println("pipelines (execution order):")
@@ -190,27 +202,37 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 		fmt.Println()
 	}
 
-	var total float64
-	var trace string
+	// The discovery layers emit typed telemetry events into the
+	// context-carried recorder; the textual trace is their rendering.
+	rec := telemetry.NewRecorder()
+	ctx := telemetry.With(context.Background(), rec)
+	var total, guarantee float64
 	switch algo {
 	case repro.Native:
 		p, _ := o.Optimize(m.EstimateLocation())
 		total = m.Eval(p, truth)
-		trace = fmt.Sprintf("plan chosen at estimate %v\n", m.EstimateLocation())
+		rec.Record(telemetry.Event{
+			Kind: telemetry.PlanExec, Dim: -1, Mode: "native",
+			Location: m.EstimateLocation(), Spent: total, Completed: true,
+		})
 	case repro.PlanBouquet:
 		d := bouquet.Reduce(s, 0.2)
-		fmt.Printf("PlanBouquet guarantee: 4(1+λ)ρ = %.1f\n\n", d.Guarantee(costs))
-		out := bouquet.Run(d, e, ess.CostDoublingRatio)
-		total = out.TotalCost
-		for _, st := range out.Steps {
-			trace += st.String() + "\n"
+		guarantee = d.Guarantee(costs)
+		info("PlanBouquet guarantee: 4(1+λ)ρ = %.1f\n\n", guarantee)
+		out, err := bouquet.RunContext(ctx, d, e, ess.CostDoublingRatio)
+		if err != nil {
+			return err
 		}
-	case repro.SpillBound:
-		fmt.Printf("SpillBound guarantee: D²+3D = %.0f\n\n", spillbound.Guarantee(q.D()))
-		out := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(e)
 		total = out.TotalCost
-		trace = out.Trace()
-		if plot {
+	case repro.SpillBound:
+		guarantee = spillbound.Guarantee(q.D())
+		info("SpillBound guarantee: D²+3D = %.0f\n\n", guarantee)
+		out, err := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).RunContext(ctx, e)
+		if err != nil {
+			return err
+		}
+		total = out.TotalCost
+		if plot && !jsonOut {
 			if mapped, err := viz.Fig7(s, ess.CostDoublingRatio, out, truth); err == nil {
 				fmt.Println(mapped)
 			} else {
@@ -218,12 +240,15 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 			}
 		}
 	case repro.AlignedBound:
-		fmt.Printf("AlignedBound guarantee range: [%.0f, %.0f]\n\n",
-			aligned.GuaranteeLower(q.D()), aligned.GuaranteeUpper(q.D()))
-		out := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(e)
+		guarantee = aligned.GuaranteeUpper(q.D())
+		info("AlignedBound guarantee range: [%.0f, %.0f]\n\n",
+			aligned.GuaranteeLower(q.D()), guarantee)
+		out, err := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).RunContext(ctx, e)
+		if err != nil {
+			return err
+		}
 		total = out.TotalCost
-		trace = out.Trace()
-		if plot {
+		if plot && !jsonOut {
 			if mapped, err := viz.Fig7(s, ess.CostDoublingRatio, out.SpillOutcome(), truth); err == nil {
 				fmt.Println(mapped)
 			} else {
@@ -231,35 +256,77 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 			}
 		}
 	}
-	fmt.Print(trace)
+	rec.Record(telemetry.Event{
+		Kind: telemetry.Done, Dim: -1, Algorithm: algo.String(),
+		TotalCost: total, SubOpt: total / optCost, Completed: true,
+	})
+	events := rec.Events()
+	if jsonOut {
+		return writeRunJSON(runDoc{
+			Query: sp.Name, Algorithm: algo.String(), D: q.D(), GridRes: res,
+			Truth: truth, POSPSize: len(s.Plans()), Contours: len(costs),
+			Guarantee: guarantee, TotalCost: total, OptimalCost: optCost,
+			SubOpt: total / optCost,
+			Trace:  telemetry.RenderTrace(events), Events: events,
+		})
+	}
+	if algo == repro.Native {
+		fmt.Printf("plan chosen at estimate %v\n", m.EstimateLocation())
+	} else {
+		fmt.Print(telemetry.RenderTrace(events))
+	}
 	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
 		total, optCost, total/optCost)
 	return nil
 }
 
+// runDoc is the -json output document: the run's identity, guarantees,
+// realized costs, and the full typed event stream.
+type runDoc struct {
+	Query       string            `json:"query"`
+	Algorithm   string            `json:"algorithm"`
+	D           int               `json:"d"`
+	GridRes     int               `json:"gridRes"`
+	Truth       []float64         `json:"truth,omitempty"`
+	POSPSize    int               `json:"pospSize"`
+	Contours    int               `json:"contours"`
+	Guarantee   float64           `json:"guarantee,omitempty"`
+	TotalCost   float64           `json:"totalCost"`
+	OptimalCost float64           `json:"optimalCost,omitempty"`
+	SubOpt      float64           `json:"subOpt,omitempty"`
+	Trace       string            `json:"trace"`
+	Events      []telemetry.Event `json:"events"`
+}
+
+func writeRunJSON(doc runDoc) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
 // runPhysical drives the chosen algorithm against the row engine.
-func runPhysical(q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorithm, rowCap int64) error {
+func runPhysical(sp workload.Spec, q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorithm, rowCap int64, jsonOut bool) error {
 	re := &rowexec.Engine{Query: q, Params: m.Params, RowCap: rowCap}
 	ad := &rowexec.Adapter{E: re}
+	rec := telemetry.NewRecorder()
+	ctx := telemetry.With(context.Background(), rec)
 	var total float64
-	var trace string
+	var runErr error
 	switch algo {
 	case repro.PlanBouquet:
-		out := bouquet.Run(bouquet.Reduce(s, 0.2), ad, ess.CostDoublingRatio)
-		total = out.TotalCost
-		for _, st := range out.Steps {
-			trace += st.String() + "\n"
-		}
+		out, err := bouquet.RunContext(ctx, bouquet.Reduce(s, 0.2), ad, ess.CostDoublingRatio)
+		total, runErr = out.TotalCost, err
 	case repro.SpillBound:
-		out := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(ad)
-		total = out.TotalCost
-		trace = out.Trace()
+		out, err := (&spillbound.Runner{Space: s, Ratio: ess.CostDoublingRatio}).RunContext(ctx, ad)
+		total, runErr = out.TotalCost, err
 	case repro.AlignedBound:
-		out := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).Run(ad)
-		total = out.TotalCost
-		trace = out.Trace()
+		out, err := (&aligned.Runner{Space: s, Ratio: ess.CostDoublingRatio}).RunContext(ctx, ad)
+		total, runErr = out.TotalCost, err
 	default:
 		return fmt.Errorf("-physical supports planbouquet, spillbound, alignedbound")
+	}
+	if runErr != nil {
+		return runErr
 	}
 	best := -1.0
 	for _, p := range s.Plans() {
@@ -268,6 +335,28 @@ func runPhysical(q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorit
 				best = r.Spent
 			}
 		}
+	}
+	done := telemetry.Event{
+		Kind: telemetry.Done, Dim: -1, Algorithm: algo.String(),
+		TotalCost: total, Completed: true,
+	}
+	if best > 0 {
+		done.SubOpt = total / best
+	}
+	rec.Record(done)
+	events := rec.Events()
+	trace := telemetry.RenderTrace(events)
+	if jsonOut {
+		doc := runDoc{
+			Query: sp.Name, Algorithm: algo.String(), D: q.D(), GridRes: len(s.Grid.Points[0]),
+			POSPSize: len(s.Plans()), Contours: len(s.ContourCosts(ess.CostDoublingRatio)),
+			TotalCost: total, Trace: trace, Events: events,
+		}
+		if best > 0 {
+			doc.OptimalCost = best
+			doc.SubOpt = total / best
+		}
+		return writeRunJSON(doc)
 	}
 	fmt.Println("physical execution over synthetic rows:")
 	fmt.Print(trace)

@@ -12,6 +12,11 @@
 //	curl -s -XPOST localhost:8080/v1/sessions/s1/run \
 //	     -d '{"algorithm":"spillbound","truth":[0.04,0.1]}'
 //
+// Observability: GET /v1/metrics serves Prometheus text exposition
+// (request, run, sub-optimality and session-build metrics), GET
+// /v1/debug/stats returns a JSON runtime+metrics snapshot, and -pprof
+// mounts net/http/pprof under /debug/pprof/ (off by default).
+//
 // The daemon carries the operational guard rails of internal/server: panic
 // recovery, per-request timeouts (requests pass their deadline down into
 // the discovery algorithms, which abort mid-contour), a session TTL with
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
@@ -39,6 +45,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 256, "live session cap (0 = unlimited)")
 	buildWorkers := flag.Int("build-workers", 0, "ESS build parallelism per session (0 = GOMAXPROCS)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown budget")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
@@ -50,9 +57,25 @@ func main() {
 	api.StartEviction()
 	defer api.Close()
 
+	handler := api.Handler()
+	if *pprofOn {
+		// The profiling surface bypasses the API middleware (its own mux):
+		// profile streams run longer than the per-request timeout allows,
+		// and a panic inside pprof handlers is a process bug worth a stack.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("rqpd profiling enabled at /debug/pprof/")
+	}
+
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: api.Handler(),
+		Handler: handler,
 		// Socket-level guards against slow clients (slowloris): bound how
 		// long headers may trickle in and how long idle keep-alives linger.
 		// No blanket WriteTimeout — session builds legitimately run long;

@@ -18,6 +18,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/spillbound"
+	"repro/internal/telemetry"
 )
 
 // GuaranteeLower returns the aligned-case MSO bound 2D+2 (Theorem 5.1).
@@ -354,6 +355,7 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 // abort error.
 func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, error) {
 	ce := engine.AsContextExecutor(e)
+	rec := telemetry.From(ctx)
 	s := r.Space
 	g := s.Grid
 	costs := s.ContourCosts(r.Ratio)
@@ -381,6 +383,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			return out, err
 		}
 
+		rec.EnterContour(i + 1)
 		cells := sub.ContourCellsCached(costs[i])
 		if len(cells) == 0 {
 			i++
@@ -424,9 +427,17 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 				Penalty: pe.penalty, Native: pe.native,
 			})
 			out.TotalCost += res.Spent
+			rec.Record(telemetry.Event{
+				Kind: telemetry.SpillExec, Contour: i + 1, Dim: pe.leader, PlanID: pe.planID,
+				Budget: pe.budget, Spent: res.Spent, Completed: res.Completed,
+				Learned: res.Learned, Penalty: pe.penalty,
+			})
 			if res.Completed {
 				learned[s.Query.EPPs[pe.leader]] = true
 				sub = sub.Fix(pe.leader, g.CeilIndex(pe.leader, res.Learned))
+				rec.Record(telemetry.Event{
+					Kind: telemetry.HalfSpacePrune, Contour: i + 1, Dim: pe.leader, Learned: res.Learned,
+				})
 				progressed = true
 				break
 			}
@@ -443,6 +454,10 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 	if err != nil {
 		return out, err
 	}
+	rec.Record(telemetry.Event{
+		Kind: telemetry.PlanExec, Contour: len(costs), Dim: -1, PlanID: s.PlanIDAt(ci),
+		Budget: res.Spent, Spent: res.Spent, Completed: true,
+	})
 	out.Executions = append(out.Executions, Execution{
 		Execution: spillbound.Execution{
 			Contour: len(costs) - 1, Dim: -1, PlanID: s.PlanIDAt(ci),

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/ess"
+	"repro/internal/telemetry"
 )
 
 // Step records one budgeted plan execution of the bouquet protocol.
@@ -71,11 +72,13 @@ func RunSubspace(s *ess.Space, a Assignment, e engine.Executor, costs []float64,
 // propagate.
 func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engine.Executor, costs []float64, start int, sub ess.Subspace, inflate float64) (Outcome, error) {
 	ce := engine.AsContextExecutor(e)
+	rec := telemetry.From(ctx)
 	var out Outcome
 	for i := start; i < len(costs); i++ {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
+		rec.EnterContour(i + 1)
 		cells := sub.ContourCellsCached(costs[i])
 		for _, id := range distinctPlans(a, cells) {
 			budget := costs[i] * inflate
@@ -83,6 +86,10 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 			if err != nil {
 				return out, err
 			}
+			rec.Record(telemetry.Event{
+				Kind: telemetry.PlanExec, Contour: i + 1, Dim: -1, PlanID: id,
+				Budget: budget, Spent: res.Spent, Completed: res.Completed,
+			})
 			out.Steps = append(out.Steps, Step{
 				Contour: i, PlanID: id, Budget: budget,
 				Spent: res.Spent, Completed: res.Completed,
@@ -105,6 +112,10 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 	if err != nil {
 		return out, err
 	}
+	rec.Record(telemetry.Event{
+		Kind: telemetry.PlanExec, Contour: len(costs), Dim: -1, PlanID: a.PlanIDAt(ci),
+		Budget: res.Spent, Spent: res.Spent, Completed: true,
+	})
 	out.Steps = append(out.Steps, Step{
 		Contour: len(costs) - 1, PlanID: a.PlanIDAt(ci), Budget: res.Spent, Spent: res.Spent, Completed: true,
 	})

@@ -16,10 +16,12 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/cost"
 	"repro/internal/faults"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // Executor abstracts the execution substrate the discovery algorithms
@@ -152,10 +154,29 @@ func (e *Engine) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (
 		return Result{}, err
 	}
 	c := e.execCost(p) * fp.OverrunFactor()
-	if c <= budget {
-		return Result{Completed: true, Spent: c}, nil
+	res := Result{Completed: c <= budget, Spent: budget}
+	if res.Completed {
+		res.Spent = c
 	}
-	return Result{Completed: false, Spent: budget}, nil
+	recordSpend(ctx, "exec", -1, budget, res.Spent, res.Completed, 0)
+	return res, nil
+}
+
+// recordSpend emits the engine-level BudgetSpend accounting event to any
+// recorder on the context. An unbudgeted execution (budget +Inf) is recorded
+// with Budget -1, keeping the event stream JSON-safe.
+func recordSpend(ctx context.Context, mode string, dim int, budget, spent float64, completed bool, learned float64) {
+	rec := telemetry.From(ctx)
+	if rec == nil {
+		return
+	}
+	if math.IsInf(budget, 1) {
+		budget = -1
+	}
+	rec.Record(telemetry.Event{
+		Kind: telemetry.BudgetSpend, Mode: mode, Dim: dim,
+		Budget: budget, Spent: spent, Completed: completed, Learned: learned,
+	})
 }
 
 // ExecuteSpillCtx is ExecuteSpill with cancellation and fault injection.
@@ -171,6 +192,9 @@ func (e *Engine) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, bud
 		return SpillResult{}, false, err
 	}
 	res, ok := e.executeSpill(p, dim, budget, fp.OverrunFactor())
+	if ok {
+		recordSpend(ctx, "spill", dim, budget, res.Spent, res.Completed, res.Learned)
+	}
 	return res, ok, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // Policy configures step-level retry with exponential backoff.
@@ -127,14 +128,20 @@ func (r *Resilient) retry(ctx context.Context, kind string, fn func() error) err
 			return last
 		}
 		if n >= r.Policy.MaxRetries {
-			r.note("%s: giving up after %d attempts: %v", kind, n+1, last)
+			note := fmt.Sprintf("%s: giving up after %d attempts: %v", kind, n+1, last)
+			r.note("%s", note)
+			telemetry.From(ctx).Record(telemetry.Event{
+				Kind: telemetry.Retry, Dim: -1, Detail: note, Final: true,
+			})
 			return &StepError{Attempts: n + 1, Err: last}
 		}
 		d := r.Policy.backoff(n + 1)
 		r.mu.Lock()
 		r.retries++
 		r.mu.Unlock()
-		r.note("%s: attempt %d failed (%v), retrying in %s", kind, n+1, last, d)
+		note := fmt.Sprintf("%s: attempt %d failed (%v), retrying in %s", kind, n+1, last, d)
+		r.note("%s", note)
+		telemetry.From(ctx).Record(telemetry.Event{Kind: telemetry.Retry, Dim: -1, Detail: note})
 		sleep := r.Sleep
 		if sleep == nil {
 			sleep = sleepUntil

@@ -6,6 +6,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // Adapter exposes the row engine through the engine.Executor interface, so
@@ -41,9 +42,20 @@ func (a *Adapter) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) 
 		// Non-budget, non-cancellation errors surface as incomplete
 		// executions charged their budget; the discovery loops treat them
 		// like expiries.
+		a.recordSpend(ctx, -1, budget, budget, false, 0)
 		return engine.Result{Completed: false, Spent: budget}, nil
 	}
+	a.recordSpend(ctx, -1, budget, res.Spent, res.Completed, 0)
 	return engine.Result{Completed: res.Completed, Spent: res.Spent}, nil
+}
+
+// recordSpend emits the row engine's BudgetSpend accounting event to any
+// recorder on the context, mirroring the cost-model simulator's.
+func (a *Adapter) recordSpend(ctx context.Context, dim int, budget, spent float64, completed bool, learned float64) {
+	telemetry.From(ctx).Record(telemetry.Event{
+		Kind: telemetry.BudgetSpend, Mode: "rowexec", Dim: dim,
+		Budget: budget, Spent: spent, Completed: completed, Learned: learned,
+	})
 }
 
 // ExecuteSpill runs the epp subtree on real rows, deriving the learnt
@@ -91,6 +103,7 @@ func (a *Adapter) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, bu
 			out.Learned = ObservedSelectivity(full)
 		}
 	}
+	a.recordSpend(ctx, dim, budget, out.Spent, out.Completed, out.Learned)
 	return out, true, nil
 }
 

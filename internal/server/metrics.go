@@ -1,0 +1,190 @@
+// Server-side process metrics: every instrument the HTTP layer populates,
+// registered on one per-Server telemetry.Registry and exposed in the
+// Prometheus text format at GET /v1/metrics (JSON twin: /v1/debug/stats).
+// Instrumentation happens at route-registration time — each handler is
+// wrapped with its route pattern — so the request path never does pattern
+// lookups and the registry's atomic cells are the only shared state.
+
+package server
+
+import (
+	"log"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// latencyBuckets spans sub-millisecond health checks to multi-second sweeps.
+var latencyBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// subOptBuckets covers the sub-optimality range the paper cares about: 1
+// (oracle-optimal) through SpillBound's D²+3D ceiling for the benchmark
+// dimensionalities and beyond for degraded runs.
+var subOptBuckets = []float64{1, 1.5, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128}
+
+// buildBuckets tracks ESS construction wall time in seconds.
+var buildBuckets = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 120, 300}
+
+// serverMetrics bundles the server's instruments around one registry.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	requests   *telemetry.CounterVec   // route, method, status
+	latency    *telemetry.HistogramVec // route
+	deprecated *telemetry.CounterVec   // route
+	inflight   *telemetry.Gauge
+
+	runs    *telemetry.CounterVec // algorithm, outcome
+	retries *telemetry.Counter
+	subOpt  *telemetry.Histogram
+	maxSub  *telemetry.Gauge
+
+	builds        *telemetry.CounterVec // result
+	buildCells    *telemetry.Counter
+	buildDuration *telemetry.Histogram
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("rqp_requests_total",
+			"HTTP requests served, by route pattern, method and status class.",
+			"route", "method", "status"),
+		latency: reg.HistogramVec("rqp_request_duration_seconds",
+			"HTTP request latency in seconds, by route pattern.",
+			latencyBuckets, "route"),
+		deprecated: reg.CounterVec("rqp_deprecated_requests_total",
+			"Requests served via deprecated unversioned (pre-/v1) paths, by route.",
+			"route"),
+		inflight: reg.Gauge("rqp_requests_inflight",
+			"HTTP requests currently being served."),
+		runs: reg.CounterVec("rqp_runs_total",
+			"Query processing runs, by algorithm and outcome (ok, degraded, error).",
+			"algorithm", "outcome"),
+		retries: reg.Counter("rqp_run_retries_total",
+			"Execution-step retry attempts absorbed by the resilience layer."),
+		subOpt: reg.Histogram("rqp_suboptimality",
+			"Observed run sub-optimality (total cost over oracle-optimal cost, Eq. 3).",
+			subOptBuckets),
+		maxSub: reg.Gauge("rqp_suboptimality_max",
+			"High-water sub-optimality observed since process start (empirical MSO)."),
+		builds: reg.CounterVec("rqp_session_builds_total",
+			"Asynchronous ESS session builds, by result (ok, failed).",
+			"result"),
+		buildCells: reg.Counter("rqp_build_cells_optimized_total",
+			"ESS grid cells optimized across all session builds."),
+		buildDuration: reg.Histogram("rqp_session_build_seconds",
+			"Wall time of asynchronous ESS session builds in seconds.",
+			buildBuckets),
+	}
+	reg.GaugeFunc("rqp_sessions", "Live sessions in the registry.",
+		func() float64 { return float64(s.SessionCount()) })
+	reg.GaugeFunc("rqp_sessions_building", "Sessions whose ESS build is still in flight.",
+		func() float64 { return float64(s.buildingCount()) })
+	return m
+}
+
+// observeRun records one run outcome: the outcome-labeled counter, the
+// retry count, and the sub-optimality distribution plus its high-water mark.
+func (m *serverMetrics) observeRun(algorithm string, degraded bool, retries int, subOpt float64) {
+	outcome := "ok"
+	if degraded {
+		outcome = "degraded"
+	}
+	m.runs.With(algorithm, outcome).Inc()
+	m.retries.Add(float64(retries))
+	if subOpt > 0 {
+		m.subOpt.Observe(subOpt)
+		m.maxSub.SetMax(subOpt)
+	}
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrument wraps a handler with per-route metrics for the given route
+// pattern (e.g. "POST /sessions/{id}/run"): request count by method/status,
+// latency histogram, in-flight gauge.
+func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		m.requests.With(route, r.Method, statusClass(status)).Inc()
+		m.latency.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusClass buckets a status code into its Prometheus-friendly class
+// ("2xx", "4xx", ...), keeping the label cardinality constant.
+func statusClass(code int) string {
+	switch {
+	case code < 200:
+		return "1xx"
+	case code < 300:
+		return "2xx"
+	case code < 400:
+		return "3xx"
+	case code < 500:
+		return "4xx"
+	}
+	return "5xx"
+}
+
+// deprecationWarned dedupes the structured deprecation log line per route;
+// the counter still advances on every request so the removal decision
+// (ISSUE: "data-driven") sees real traffic volume.
+var deprecationWarned sync.Map
+
+// deprecate wraps a legacy unversioned route: counts every hit and logs a
+// structured warning (once per route per process) pointing at the /v1 path.
+func (m *serverMetrics) deprecate(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.deprecated.With(route).Inc()
+		if _, seen := deprecationWarned.LoadOrStore(route, true); !seen {
+			_, path, _ := strings.Cut(route, " ")
+			log.Printf("server: deprecated=true route=%q path=%q replacement=%q msg=%q",
+				route, r.URL.Path, "/v1"+path,
+				"unversioned paths will be removed; migrate to /v1")
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text format.
+func (m *serverMetrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.reg.WriteProm(w)
+}
+
+// handleDebugStats serves the JSON twin plus process runtime statistics.
+func (m *serverMetrics) handleDebugStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, telemetry.Snapshot(m.reg))
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -95,6 +96,7 @@ var buildSession = repro.NewBenchmarkSessionContext
 // Server is the HTTP handler set with its session registry.
 type Server struct {
 	cfg      Config
+	metrics  *serverMetrics
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
@@ -127,22 +129,38 @@ func New() *Server {
 
 // NewWithConfig returns an empty server with the given guard configuration.
 func NewWithConfig(cfg Config) *Server {
-	return &Server{cfg: cfg, sessions: make(map[string]*session)}
+	s := &Server{cfg: cfg, sessions: make(map[string]*session)}
+	s.metrics = newServerMetrics(s)
+	return s
 }
+
+// Metrics exposes the server's telemetry registry, so embedders (cmd/rqpd)
+// can register their own process-level instruments alongside.
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
 // Handler returns the routed http.Handler wrapped with the resilience
 // middleware: panic recovery (structured JSON 500), per-request timeout,
 // and request body limits. Every route is mounted under /v1 and, for one
-// deprecation release, at its legacy unversioned path.
+// deprecation release, at its legacy unversioned path; both mounts are
+// instrumented (request count/latency/status by route pattern), and the
+// legacy mounts additionally log a structured deprecation warning and count
+// into rqp_deprecated_requests_total. The observability endpoints
+// (/v1/metrics, /v1/debug/stats) are new in /v1 and have no legacy alias.
 func (s *Server) Handler() http.Handler {
+	m := s.metrics
 	mux := http.NewServeMux()
-	route := func(pattern string, h http.HandlerFunc) {
+	v1 := func(pattern string, h http.HandlerFunc) {
 		method, path, ok := strings.Cut(pattern, " ")
 		if !ok {
 			panic("server: route pattern missing method: " + pattern)
 		}
-		mux.HandleFunc(method+" /v1"+path, h)
-		mux.HandleFunc(pattern, h) // legacy unversioned alias
+		versioned := method + " /v1" + path
+		mux.HandleFunc(versioned, m.instrument(versioned, h))
+	}
+	route := func(pattern string, h http.HandlerFunc) {
+		v1(pattern, h)
+		// Legacy unversioned alias, kept for one deprecation release.
+		mux.HandleFunc(pattern, m.deprecate(pattern, m.instrument(pattern, h)))
 	}
 	route("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -152,6 +170,8 @@ func (s *Server) Handler() http.Handler {
 	route("GET /sessions/{id}", s.handleGetSession)
 	route("POST /sessions/{id}/run", s.handleRun)
 	route("GET /sessions/{id}/sweep", s.handleSweep)
+	v1("GET /metrics", m.handleMetrics)
+	v1("GET /debug/stats", m.handleDebugStats)
 	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
 }
 
@@ -212,6 +232,19 @@ func (s *Server) SessionCount() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// buildingCount reports how many sessions are still building.
+func (s *Server) buildingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.sessions {
+		if e.status == statusBuilding {
+			n++
+		}
+	}
+	return n
 }
 
 // Close stops the eviction sweep (if running), cancels every in-flight
@@ -333,8 +366,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	e.cellsTotal.Store(int64(total))
 	opts.BuildProgress = func(done, total int) {
-		e.cellsDone.Store(int64(done))
+		prev := e.cellsDone.Swap(int64(done))
 		e.cellsTotal.Store(int64(total))
+		// Counter.Add ignores the negative deltas that out-of-order progress
+		// callbacks from concurrent build workers can produce.
+		s.metrics.buildCells.Add(float64(int64(done) - prev))
 	}
 
 	s.mu.Lock()
@@ -347,17 +383,21 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer s.buildWG.Done()
 		defer cancel()
+		start := time.Now()
 		sess, err := buildSession(ctx, sp, opts)
+		s.metrics.buildDuration.Observe(time.Since(start).Seconds())
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		e.lastUsed = time.Now()
 		if err != nil {
 			e.status = statusFailed
 			e.buildErr = err
+			s.metrics.builds.With("failed").Inc()
 			return
 		}
 		e.sess = sess
 		e.status = statusReady
+		s.metrics.builds.With("ok").Inc()
 	}()
 
 	writeJSON(w, http.StatusAccepted, s.info(e))
@@ -447,6 +487,13 @@ type runResponse struct {
 	Guarantee   float64 `json:"guarantee,omitempty"`
 	Steps       int     `json:"steps"`
 	Trace       string  `json:"trace"`
+	// Events is the typed run-event stream the trace is rendered from:
+	// contour entries, (spill) executions, half-space prunes, budget spends,
+	// retries, degradation, and the terminal summary.
+	Events []telemetry.Event `json:"events"`
+	// Retries counts the step retry attempts absorbed by the resilience
+	// layer during the run.
+	Retries int `json:"retries,omitempty"`
 	// Degraded reports the run fell back to the Native plan (the guarantee
 	// field is then omitted — the MSO bound no longer applies).
 	Degraded       bool   `json:"degraded,omitempty"`
@@ -474,14 +521,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
 	if err != nil {
+		s.metrics.runs.With(algo.String(), "error").Inc()
 		status, code := runErrorStatus(err)
 		writeError(w, status, code, err)
 		return
 	}
+	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
 	resp := runResponse{
 		Algorithm: algo.String(), TotalCost: res.TotalCost,
 		OptimalCost: res.OptimalCost, SubOpt: res.SubOpt,
-		Steps: len(res.Steps), Trace: res.Trace,
+		Steps: len(res.Steps), Trace: res.Trace, Events: res.Events,
+		Retries: res.Retries,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
 	}
 	if g := sess.Guarantee(algo); g < 1e300 && !res.Degraded {
@@ -523,6 +573,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sum, err := sess.SweepContext(r.Context(), algo, max)
 	if err != nil {
+		s.metrics.runs.With(algo.String(), "error").Inc()
 		status, code := runErrorStatus(err)
 		if status == http.StatusBadRequest {
 			status, code = http.StatusInternalServerError, codeInternal
@@ -530,6 +581,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, code, err)
 		return
 	}
+	// A sweep is Locations individual runs; its MSO and ASO are observed
+	// sub-optimalities (the worst and the average), so both feed the
+	// distribution the /v1/metrics histogram exposes.
+	s.metrics.runs.With(algo.String(), "sweep").Add(float64(sum.Locations))
+	s.metrics.subOpt.Observe(sum.MSO)
+	s.metrics.subOpt.Observe(sum.ASO)
+	s.metrics.maxSub.SetMax(sum.MSO)
 	writeJSON(w, http.StatusOK, sweepResponse{
 		Algorithm: algo.String(), MSO: sum.MSO, ASO: sum.ASO,
 		Locations: sum.Locations, Worst: sum.WorstLocation,

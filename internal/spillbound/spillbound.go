@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/ess"
+	"repro/internal/telemetry"
 )
 
 // Guarantee returns SpillBound's structural MSO bound D²+3D (Theorem 4.5),
@@ -145,6 +146,7 @@ func (r *Runner) Run(e engine.Executor) Outcome {
 // degrade (fall back to the Native plan) or propagate the cancellation.
 func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, error) {
 	ce := engine.AsContextExecutor(e)
+	rec := telemetry.From(ctx)
 	s := r.Space
 	g := s.Grid
 	costs := s.ContourCosts(r.Ratio)
@@ -184,6 +186,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			contourOfSpills = i
 			spilledOnContour = make(map[int]bool)
 		}
+		rec.EnterContour(i + 1)
 
 		cells := sub.ContourCellsCached(costs[i])
 		if len(cells) == 0 {
@@ -213,6 +216,11 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			spilledOnContour[dim] = true
 			out.Executions = append(out.Executions, x)
 			out.TotalCost += res.Spent
+			rec.Record(telemetry.Event{
+				Kind: telemetry.SpillExec, Contour: i + 1, Dim: dim, PlanID: x.PlanID,
+				Budget: x.Budget, Spent: x.Spent, Completed: x.Completed,
+				Learned: x.Learned, Repeat: x.Repeat,
+			})
 			if res.Completed {
 				// Selectivity fully learnt: restrict the effective search
 				// space and re-explore the same contour with the reduced
@@ -221,6 +229,9 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 				learnedDim[dim] = true
 				learnedSel[dim] = res.Learned
 				sub = sub.Fix(dim, g.CeilIndex(dim, res.Learned))
+				rec.Record(telemetry.Event{
+					Kind: telemetry.HalfSpacePrune, Contour: i + 1, Dim: dim, Learned: res.Learned,
+				})
 				progressed = true
 				break
 			}
@@ -239,6 +250,10 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 	if err != nil {
 		return out, err
 	}
+	rec.Record(telemetry.Event{
+		Kind: telemetry.PlanExec, Contour: len(costs), Dim: -1, PlanID: s.PlanIDAt(ci),
+		Budget: res.Spent, Spent: res.Spent, Completed: true,
+	})
 	out.Executions = append(out.Executions, Execution{
 		Contour: len(costs) - 1, Dim: -1, PlanID: s.PlanIDAt(ci),
 		Budget: res.Spent, Spent: res.Spent, Completed: true,

@@ -1,0 +1,288 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small parser for the Prometheus text exposition format —
+// the consumer half of the registry: the metrics-smoke tooling scrapes
+// /v1/metrics and validates with ParseProm that the output is well-formed
+// (declared families, legal names, parsable values, cumulative histogram
+// buckets terminated by +Inf), and tests assert on the parsed samples.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	// Name is the full sample name (including _bucket/_sum/_count).
+	Name string
+	// Labels holds the label pairs, "le" included.
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// ParsedFamily is one declared metric family with its samples.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// ParseProm parses and validates a text exposition stream. It returns the
+// families by name, or the first syntax or structural error encountered.
+func ParseProm(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name, _, _ := strings.Cut(strings.TrimPrefix(line, "# HELP "), " ")
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: bad HELP name %q", lineNo, name)
+			}
+			fam := fams[name]
+			if fam == nil {
+				fam = &ParsedFamily{Name: name}
+				fams[name] = fam
+			}
+			fam.Help = strings.TrimPrefix(strings.TrimPrefix(line, "# HELP "), name+" ")
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			fam := fams[name]
+			if fam == nil {
+				fam = &ParsedFamily{Name: name}
+				fams[name] = fam
+			}
+			if fam.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			fam.Type = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := fams[familyOf(s.Name, fams)]
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if fam.Type == "" {
+			return nil, fmt.Errorf("family %q has HELP but no TYPE", fam.Name)
+		}
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declaring family, stripping the
+// histogram suffixes when the base name is a declared histogram.
+func familyOf(name string, fams map[string]*ParsedFamily) string {
+	if _, ok := fams[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := fams[base]; ok && f.Type == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample parses `name{label="value",...} value`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:i]
+	if !validName(s.Name) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[1:end], s.Labels); err != nil {
+			return s, err
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A trailing timestamp is legal; take the first field as the value.
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseLabels(body string, into map[string]string) error {
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair near %q", body)
+		}
+		name := strings.TrimSpace(body[:eq])
+		if !validName(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		body = body[eq+1:]
+		if len(body) == 0 || body[0] != '"' {
+			return fmt.Errorf("label %q value not quoted", name)
+		}
+		body = body[1:]
+		var val strings.Builder
+		for {
+			if len(body) == 0 {
+				return fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := body[0]
+			body = body[1:]
+			if c == '\\' {
+				if len(body) == 0 {
+					return fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch body[0] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(body[0])
+				default:
+					return fmt.Errorf("bad escape \\%c in label %q", body[0], name)
+				}
+				body = body[1:]
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		into[name] = val.String()
+		body = strings.TrimPrefix(strings.TrimSpace(body), ",")
+		body = strings.TrimSpace(body)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkHistogram validates histogram structure per label set: cumulative
+// non-decreasing buckets, a terminal +Inf bucket, and _count equal to it.
+func checkHistogram(fam *ParsedFamily) error {
+	type hist struct {
+		buckets  []Sample
+		count    float64
+		hasCount bool
+	}
+	groups := map[string]*hist{}
+	groupKey := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + labels[k] + "\x00")
+		}
+		return b.String()
+	}
+	for _, s := range fam.Samples {
+		g := groups[groupKey(s.Labels)]
+		if g == nil {
+			g = &hist{}
+			groups[groupKey(s.Labels)] = g
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			g.buckets = append(g.buckets, s)
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count = s.Value
+			g.hasCount = true
+		}
+	}
+	for _, g := range groups {
+		prev := -1.0
+		sawInf := false
+		for _, b := range g.buckets {
+			le, ok := b.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", fam.Name)
+			}
+			if b.Value < prev {
+				return fmt.Errorf("histogram %s: bucket le=%s not cumulative", fam.Name, le)
+			}
+			prev = b.Value
+			if le == "+Inf" {
+				sawInf = true
+				if g.hasCount && b.Value != g.count {
+					return fmt.Errorf("histogram %s: +Inf bucket %g != count %g", fam.Name, b.Value, g.count)
+				}
+			}
+		}
+		if len(g.buckets) > 0 && !sawInf {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", fam.Name)
+		}
+	}
+	return nil
+}

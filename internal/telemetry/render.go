@@ -1,0 +1,98 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace renders the event stream into the legacy human-readable run
+// transcript, byte-compatible with the trace strings the session layer used
+// to assemble by hand: execution lines first in recorded order, then the
+// resilience notes, then the degradation record. Purely diagnostic events
+// (ContourEnter, HalfSpacePrune, BudgetSpend, Done) render nothing — they
+// exist for machine consumption.
+func RenderTrace(events []Event) string {
+	var b strings.Builder
+	for _, ev := range events {
+		renderExec(&b, ev)
+	}
+	for _, ev := range events {
+		if ev.Kind == Retry {
+			b.WriteString("resilience: ")
+			b.WriteString(ev.Detail)
+			b.WriteByte('\n')
+		}
+	}
+	for _, ev := range events {
+		if ev.Kind == Degrade {
+			fmt.Fprintf(&b, "degraded: %s\n", ev.Detail)
+			fmt.Fprintf(&b, "degraded: falling back to native plan at estimate %s, cost %.4g\n",
+				formatLocation(ev.Location), ev.Spent)
+			fmt.Fprintf(&b, "degraded: guarantee downgraded from %.4g (%s) to +Inf (native, no MSO bound)\n",
+				ev.Guarantee, ev.Algorithm)
+		}
+	}
+	return b.String()
+}
+
+// renderExec writes the trace line of one execution event, in the exact
+// notation of bouquet.Step.String and spillbound.Execution.String.
+func renderExec(b *strings.Builder, ev Event) {
+	switch ev.Kind {
+	case PlanExec:
+		if ev.Mode == "native" {
+			fmt.Fprintf(b, "native: plan at estimate %s, cost %.4g\n", formatLocation(ev.Location), ev.Spent)
+			return
+		}
+		mark := "✗"
+		if ev.Completed {
+			mark = "✓"
+		}
+		fmt.Fprintf(b, "IC%d: P%d|%.4g %s\n", ev.Contour, ev.PlanID, ev.Budget, mark)
+	case SpillExec:
+		tag := ""
+		if ev.Repeat {
+			tag = " (repeat)"
+		}
+		fmt.Fprintf(b, "IC%d: p%d|%.4g spill dim %d → %.3g%s\n",
+			ev.Contour, ev.PlanID, ev.Budget, ev.Dim, ev.Learned, tag)
+	}
+}
+
+// formatLocation renders a selectivity location exactly as cost.Location
+// does ("(0.02, 0.3)"); replicated here so telemetry stays dependency-free.
+func formatLocation(loc []float64) string {
+	s := "("
+	for d, v := range loc {
+		if d > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.3g", v)
+	}
+	return s + ")"
+}
+
+// CountRetries counts the actual retry attempts in the stream — the single
+// source of truth for RunResult.Retries. Final ("giving up") notes are
+// records of exhaustion, not attempts, and are excluded.
+func CountRetries(events []Event) int {
+	n := 0
+	for _, ev := range events {
+		if ev.Kind == Retry && !ev.Final {
+			n++
+		}
+	}
+	return n
+}
+
+// Degradation reports whether the stream records a Native-plan fallback and
+// the terminal failure that forced it — the single source of truth for
+// RunResult.Degraded / DegradedReason.
+func Degradation(events []Event) (degraded bool, reason string) {
+	for _, ev := range events {
+		if ev.Kind == Degrade {
+			return true, ev.Detail
+		}
+	}
+	return false, ""
+}

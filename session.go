@@ -19,6 +19,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/spillbound"
 	"repro/internal/sqlmini"
+	"repro/internal/telemetry"
 )
 
 // Algorithm selects a query processing strategy.
@@ -248,7 +249,13 @@ type RunResult struct {
 	OptimalCost float64
 	// SubOpt is TotalCost/OptimalCost (Eq. 1/3).
 	SubOpt float64
-	// Trace is a human-readable execution transcript.
+	// Events is the typed run-event stream recorded during the run: contour
+	// entries, budgeted executions, half-space prunes, budget accounting,
+	// retries, degradation, and the terminal summary, in emission order.
+	// Trace, Retries, Degraded and DegradedReason are all derived from it.
+	Events []telemetry.Event
+	// Trace is a human-readable execution transcript — the deterministic
+	// rendering of Events (telemetry.RenderTrace).
 	Trace string
 	// Retries counts the step retry attempts the resilience layer performed
 	// (transient failures absorbed without degrading).
@@ -326,6 +333,13 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 	e.CostError = costErr
 	rex := &engine.Resilient{Exec: e, Policy: s.retryPolicy()}
 
+	// Every run records into a fresh context-carried recorder: the discovery
+	// layers (bouquet, spillbound, aligned, engine, rowexec) emit typed
+	// events into it, and the result's Trace/Retries/Degraded fields are all
+	// derived from the one stream below.
+	rec := telemetry.NewRecorder()
+	ctx = telemetry.With(ctx, rec)
+
 	var runErr error
 	switch a {
 	case Native:
@@ -334,7 +348,10 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 			return RunResult{}, err
 		}
 		res.TotalCost = s.model.Eval(p, truth)
-		res.Trace = fmt.Sprintf("native: plan at estimate %v, cost %.4g\n", s.EstimateLocation(), res.TotalCost)
+		rec.Record(telemetry.Event{
+			Kind: telemetry.PlanExec, Dim: -1, Mode: "native",
+			Location: s.EstimateLocation(), Spent: res.TotalCost, Completed: true,
+		})
 	case PlanBouquet:
 		out, rerr := bouquet.RunContext(ctx, s.diag, rex, s.opts.ContourRatio)
 		runErr = rerr
@@ -344,14 +361,12 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 				Contour: st.Contour + 1, SpillDim: -1, PlanID: st.PlanID,
 				Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
 			})
-			res.Trace += st.String() + "\n"
 		}
 	case SpillBound:
 		out, rerr := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
 		runErr = rerr
 		res.TotalCost = out.TotalCost
 		res.Steps = convertSteps(out.Executions)
-		res.Trace = out.Trace()
 	case AlignedBound:
 		out, rerr := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
 		runErr = rerr
@@ -359,22 +374,32 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 		for _, x := range out.Executions {
 			res.Steps = append(res.Steps, stepFrom(x.Execution))
 		}
-		res.Trace = out.Trace()
 	default:
 		return RunResult{}, fmt.Errorf("repro: unknown algorithm %v", a)
-	}
-	res.Retries = rex.Retries()
-	for _, ev := range rex.Events() {
-		res.Trace += "resilience: " + ev + "\n"
 	}
 	if runErr != nil {
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return RunResult{}, fmt.Errorf("repro: run aborted: %w", runErr)
 		}
-		return s.degrade(res, a, truth, runErr)
+		return s.degrade(rec, res, a, truth, runErr)
 	}
 	res.SubOpt = res.TotalCost / opt
-	return res, nil
+	return finishRun(rec, res, true), nil
+}
+
+// finishRun seals the run's event stream (the terminal Done summary) and
+// derives every event-sourced RunResult field from it in one place, so the
+// trace, retry count and degradation flags cannot drift from the events.
+func finishRun(rec *telemetry.Recorder, res RunResult, completed bool) RunResult {
+	rec.Record(telemetry.Event{
+		Kind: telemetry.Done, Dim: -1, Algorithm: res.Algorithm.String(),
+		TotalCost: res.TotalCost, SubOpt: res.SubOpt, Completed: completed,
+	})
+	res.Events = rec.Events()
+	res.Trace = telemetry.RenderTrace(res.Events)
+	res.Retries = telemetry.CountRetries(res.Events)
+	res.Degraded, res.DegradedReason = telemetry.Degradation(res.Events)
+	return res
 }
 
 // nativePlan optimizes at the statistics estimate — the traditional plan
@@ -387,22 +412,22 @@ func (s *Session) nativePlan() (*plan.Plan, error) {
 
 // degrade completes a failed robust run with the Native plan: the partial
 // discovery spend is kept (it was really charged), the estimate-optimal
-// plan's cost at the truth is added, and the trace records that the MSO
-// guarantee no longer holds for this run.
-func (s *Session) degrade(res RunResult, a Algorithm, truth Location, cause error) (RunResult, error) {
+// plan's cost at the truth is added, and a Degrade event records that the
+// MSO guarantee no longer holds for this run.
+func (s *Session) degrade(rec *telemetry.Recorder, res RunResult, a Algorithm, truth Location, cause error) (RunResult, error) {
 	p, err := s.nativePlan()
 	if err != nil {
 		return RunResult{}, fmt.Errorf("repro: degraded run failed to build native plan: %w (cause: %v)", err, cause)
 	}
 	nat := s.model.Eval(p, truth)
-	res.Degraded = true
-	res.DegradedReason = cause.Error()
 	res.TotalCost += nat
 	res.SubOpt = res.TotalCost / res.OptimalCost
-	res.Trace += fmt.Sprintf("degraded: %v\n", cause)
-	res.Trace += fmt.Sprintf("degraded: falling back to native plan at estimate %v, cost %.4g\n", s.EstimateLocation(), nat)
-	res.Trace += fmt.Sprintf("degraded: guarantee downgraded from %.4g (%v) to +Inf (native, no MSO bound)\n", s.Guarantee(a), a)
-	return res, nil
+	rec.Record(telemetry.Event{
+		Kind: telemetry.Degrade, Dim: -1, Detail: cause.Error(),
+		Location: s.EstimateLocation(), Spent: nat,
+		Guarantee: s.Guarantee(a), Algorithm: a.String(),
+	})
+	return finishRun(rec, res, true), nil
 }
 
 func convertSteps(xs []spillbound.Execution) []ExecutionStep {
