@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos bench experiments metrics-smoke clean
+.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke clean
 
 all: vet build test
 
@@ -22,6 +22,15 @@ vet:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Resilient|Degrad' ./... -v
 	$(GO) test -race ./internal/faults/ -v
+
+# resume-chaos runs the crash-tolerance suite under the race detector: a 3D
+# SpillBound run is killed at every contour checkpoint and resumed from its
+# durable snapshot (identical discovery, bounded redo), the durable server
+# restart drill recovers sessions and runs from disk, and the runstate
+# store/tracker invariants are exercised directly.
+resume-chaos:
+	$(GO) test -race -run 'CrashResume|Resume|Rehydrat|Durable|Checkpoint' . ./internal/server/ -v
+	$(GO) test -race ./internal/runstate/ -v
 
 # bench runs the serial-vs-parallel ESS build comparison first, recording
 # the raw results in BENCH_build.json, then the full benchmark suite.

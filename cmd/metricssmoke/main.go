@@ -1,11 +1,13 @@
 // Command metricssmoke is an end-to-end smoke test for the daemon's
-// observability surface, wired to `make metrics-smoke`. It builds rqpd,
-// boots it on a local port, drives one session through build → run →
-// sweep, scrapes GET /v1/metrics, and validates the Prometheus text
-// exposition with telemetry.ParseProm (cumulative buckets, terminal
-// +Inf) plus the presence and non-zeroness of the key families. Exits
-// non-zero on any failure; the daemon is shut down with SIGTERM so the
-// graceful path is exercised too.
+// observability and durability surfaces, wired to `make metrics-smoke`. It
+// builds rqpd, boots it on a local port with a data directory, drives one
+// session through build → durable run → sweep, scrapes GET /v1/metrics, and
+// validates the Prometheus text exposition with telemetry.ParseProm
+// (cumulative buckets, terminal +Inf) plus the presence and non-zeroness of
+// the key families. It then stops the daemon (SIGTERM, exercising the
+// graceful path), reboots it on the same -data directory, and verifies the
+// recovered session serves its durable run resource over /v1 — the restart
+// drill for `rqpd -data`. Exits non-zero on any failure.
 package main
 
 import (
@@ -47,34 +49,25 @@ func run() error {
 		return fmt.Errorf("build rqpd: %v\n%s", err, out)
 	}
 
+	dataDir := filepath.Join(dir, "data")
 	addr, err := freeAddr()
 	if err != nil {
 		return err
 	}
-	cmd := exec.Command(bin, "-addr", addr)
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
+	stop, err := startDaemon(bin, addr, dataDir)
+	if err != nil {
 		return err
 	}
-	defer func() {
-		cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			cmd.Process.Kill()
-			<-done
-		}
-	}()
+	defer stop()
 
 	base := "http://" + addr
 	if err := await(base+"/v1/healthz", 10*time.Second); err != nil {
 		return fmt.Errorf("daemon never became healthy: %w", err)
 	}
 
-	// One full workflow so the run/build/sweep metrics are non-zero.
+	// One full workflow so the run/build/sweep metrics are non-zero. The run
+	// is durable so the checkpoint counter ticks and the restart drill below
+	// has a run resource to recover.
 	id, err := createSession(base, `{"query":"2D_EQ","gridRes":6}`)
 	if err != nil {
 		return err
@@ -83,7 +76,7 @@ func run() error {
 		return err
 	}
 	if err := post(base+"/v1/sessions/"+id+"/run",
-		`{"algorithm":"spillbound","truth":[0.04,0.1]}`); err != nil {
+		`{"algorithm":"spillbound","truth":[0.04,0.1],"durable":true}`); err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
 	if err := get(base + "/v1/sessions/" + id + "/sweep?algorithm=spillbound&max=16"); err != nil {
@@ -93,8 +86,87 @@ func run() error {
 	if err := get(base + "/healthz"); err != nil {
 		return err
 	}
+	if err := scrape(base); err != nil {
+		return err
+	}
 
-	return scrape(base)
+	// Restart drill: stop the daemon (SIGTERM — graceful path), reboot on the
+	// same data directory, and the recovered session must serve its durable
+	// run resource over /v1 without a client-visible rebuild.
+	stop()
+	addr2, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	stop2, err := startDaemon(bin, addr2, dataDir)
+	if err != nil {
+		return err
+	}
+	defer stop2()
+	base2 := "http://" + addr2
+	if err := await(base2+"/v1/healthz", 10*time.Second); err != nil {
+		return fmt.Errorf("restarted daemon never became healthy: %w", err)
+	}
+	if err := awaitReady(base2, id, 60*time.Second); err != nil {
+		return fmt.Errorf("recovered session: %w", err)
+	}
+	if err := checkRunRecovered(base2, id, "r1"); err != nil {
+		return err
+	}
+	log.Printf("restart drill: session %s and run r1 recovered from %s", id, dataDir)
+	return nil
+}
+
+// startDaemon boots rqpd and returns an idempotent stop function (SIGTERM
+// with a kill fallback).
+func startDaemon(bin, addr, dataDir string) (func(), error) {
+	cmd := exec.Command(bin, "-addr", addr, "-data", dataDir)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}, nil
+}
+
+// checkRunRecovered asserts the restarted daemon lists the durable run as
+// completed.
+func checkRunRecovered(base, sid, rid string) error {
+	resp, err := http.Get(base + "/v1/sessions/" + sid + "/runs/" + rid)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("recovered run %s: status %d: %s", rid, resp.StatusCode, b)
+	}
+	var doc struct {
+		RunID  string `json:"runId"`
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return err
+	}
+	if doc.RunID != rid || (doc.Status != "" && doc.Status != "completed") {
+		return fmt.Errorf("recovered run resource: %+v", doc)
+	}
+	return nil
 }
 
 // scrape fetches /v1/metrics and validates the exposition.
@@ -126,6 +198,7 @@ func scrape(base string) error {
 		"rqp_suboptimality",
 		"rqp_session_builds_total",
 		"rqp_sessions",
+		"rqp_checkpoints_total",
 	} {
 		f, ok := fams[want]
 		if !ok {
@@ -153,15 +226,36 @@ func freeAddr() (string, error) {
 	return addr, nil
 }
 
-func await(url string, timeout time.Duration) error {
+// poll drives fn immediately and then every interval until it reports done,
+// returns a permanent error, or the deadline passes. The last attempt runs
+// at the deadline itself (the sleep never overshoots it), so a condition
+// that becomes true late still passes instead of flaking on sleep phase.
+func poll(what string, timeout, interval time.Duration, fn func() (bool, error)) error {
 	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if err := get(url); err == nil {
+	for {
+		done, err := fn()
+		if err != nil {
+			return err
+		}
+		if done {
 			return nil
 		}
-		time.Sleep(100 * time.Millisecond)
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("timeout after %v waiting for %s", timeout, what)
+		}
+		if remaining < interval {
+			interval = remaining
+		}
+		time.Sleep(interval)
 	}
-	return fmt.Errorf("timeout waiting for %s", url)
+}
+
+func await(url string, timeout time.Duration) error {
+	return poll(url, timeout, 50*time.Millisecond, func() (bool, error) {
+		// Connection errors are expected while the daemon boots: keep polling.
+		return get(url) == nil, nil
+	})
 }
 
 func createSession(base, body string) (string, error) {
@@ -187,11 +281,10 @@ func createSession(base, body string) (string, error) {
 }
 
 func awaitReady(base, id string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	return poll("session "+id+" ready", timeout, 50*time.Millisecond, func() (bool, error) {
 		resp, err := http.Get(base + "/v1/sessions/" + id)
 		if err != nil {
-			return err
+			return false, err
 		}
 		var doc struct {
 			Status     string `json:"status"`
@@ -200,17 +293,16 @@ func awaitReady(base, id string, timeout time.Duration) error {
 		err = json.NewDecoder(resp.Body).Decode(&doc)
 		resp.Body.Close()
 		if err != nil {
-			return err
+			return false, err
 		}
 		switch doc.Status {
 		case "ready":
-			return nil
+			return true, nil
 		case "failed":
-			return fmt.Errorf("session build failed: %s", doc.BuildError)
+			return false, fmt.Errorf("session build failed: %s", doc.BuildError)
 		}
-		time.Sleep(200 * time.Millisecond)
-	}
-	return fmt.Errorf("session %s not ready after %v", id, timeout)
+		return false, nil
+	})
 }
 
 func get(url string) error {

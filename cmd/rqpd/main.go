@@ -46,6 +46,7 @@ func main() {
 	buildWorkers := flag.Int("build-workers", 0, "ESS build parallelism per session (0 = GOMAXPROCS)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown budget")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
+	dataDir := flag.String("data", "", "durable data directory: persists sessions (ESS) and checkpointed runs; on restart, sessions are rehydrated without rebuilding and interrupted runs resume from their last checkpoint")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
@@ -53,9 +54,15 @@ func main() {
 		SessionTTL:     *sessionTTL,
 		MaxSessions:    *maxSessions,
 		BuildWorkers:   *buildWorkers,
+		DataDir:        *dataDir,
 	})
 	api.StartEviction()
 	defer api.Close()
+	if *dataDir != "" {
+		if err := api.Recover(context.Background()); err != nil {
+			log.Printf("rqpd recovery: %v", err)
+		}
+	}
 
 	handler := api.Handler()
 	if *pprofOn {

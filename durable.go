@@ -1,0 +1,178 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/faults"
+	"repro/internal/runstate"
+)
+
+// This file exposes the crash-tolerance surface of the library: durable runs
+// that checkpoint their discovery state at every contour boundary, and the
+// resume path that rehydrates an interrupted run from its last snapshot.
+//
+// The discovery state of the paper's algorithms is monotone — half-space
+// pruning (Lemma 3.1) only shrinks the candidate region, the contour index
+// only advances, the budget ledger only grows — so any contour-boundary
+// snapshot is a valid restart point, and resuming redoes at most the one
+// contour iteration that was in flight when the process died (bounded redo:
+// total spend across incarnations ≤ uninterrupted spend + one contour's
+// executions). See DESIGN.md, "Crash tolerance & durability".
+
+// ErrRunCrashed reports whether the error came from an injected checkpoint
+// crash (FaultPlan.CrashAtCheckpoint): the run aborted as if the process had
+// died at a contour boundary, and ResumeRun will pick it up from the last
+// durable snapshot.
+func ErrRunCrashed(err error) bool { return faults.IsCrash(err) }
+
+// RunDurable is RunContext with crash tolerance: the run's discovery state is
+// checkpointed atomically under Options.DataDir at every contour boundary,
+// keyed by runID. If the process dies mid-run, ResumeRun(runID) continues
+// from the last snapshot instead of restarting from scratch. A completed run
+// leaves a terminal snapshot behind (for inspection; it is not resumable).
+// The session must have been created with Options.DataDir set.
+func (s *Session) RunDurable(ctx context.Context, a Algorithm, truth Location, runID string) (RunResult, error) {
+	if err := s.requireStore(); err != nil {
+		return RunResult{}, err
+	}
+	if a == Native {
+		// The native baseline is a single unbudgeted execution: there is no
+		// discovery state to checkpoint and nothing to resume.
+		return RunResult{}, fmt.Errorf("repro: durable runs need a contour-budgeted algorithm; got %v", a)
+	}
+	rs := runstate.RunState{
+		RunID:     runID,
+		Algorithm: a.String(),
+		Truth:     append([]float64(nil), truth...),
+		Seed:      s.opts.sweepSeed(),
+	}
+	// Persist the initial (empty) state before the first execution, so a
+	// crash at the very first checkpoint still leaves a resumable file.
+	if err := s.store.SaveRun(&rs); err != nil {
+		return RunResult{}, err
+	}
+	return s.runDurable(ctx, a, truth, runstate.NewTracker(s.store, rs), nil)
+}
+
+// ResumeRun rehydrates an interrupted durable run from its last checkpoint
+// and drives it to completion: the learnt selectivities (and their
+// half-space prunes), the restart contour and the budget ledger are restored
+// before the first execution, a run_resume event opens the new incarnation's
+// stream, and the result reports Resumed=true with TotalCost spanning every
+// incarnation's checkpointed spend.
+func (s *Session) ResumeRun(ctx context.Context, runID string) (RunResult, error) {
+	if err := s.requireStore(); err != nil {
+		return RunResult{}, err
+	}
+	rs, err := s.store.LoadRun(runID)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("repro: %w", err)
+	}
+	if rs.Completed {
+		return RunResult{}, fmt.Errorf("repro: run %s already completed; nothing to resume", runID)
+	}
+	a, err := ParseAlgorithm(rs.Algorithm)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if len(rs.Truth) != s.D() {
+		return RunResult{}, fmt.Errorf("repro: run %s has %d dims, session query has %d epps", runID, len(rs.Truth), s.D())
+	}
+	resume := rs.Discovery.Clone()
+	return s.runDurable(ctx, a, Location(rs.Truth), runstate.NewTracker(s.store, *rs), &resume)
+}
+
+// runDurable drives a tracked run and seals the terminal snapshot on any
+// completed outcome (success or degraded completion); crashed and aborted
+// runs keep their last checkpoint so they stay resumable.
+func (s *Session) runDurable(ctx context.Context, a Algorithm, truth Location, tr *runstate.Tracker, resume *runstate.Discovery) (RunResult, error) {
+	res, err := s.runFull(ctx, a, truth, nil, tr, resume)
+	if err != nil {
+		return res, err
+	}
+	if ferr := tr.Finish(); ferr != nil {
+		return res, fmt.Errorf("repro: run %s finished but its terminal snapshot failed: %w", res.RunID, ferr)
+	}
+	return res, nil
+}
+
+// DurableRuns lists every durable run snapshot in the session's data
+// directory, completed or not, sorted by run ID.
+func (s *Session) DurableRuns() ([]string, error) {
+	if err := s.requireStore(); err != nil {
+		return nil, err
+	}
+	ids, err := s.store.Runs()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return ids, nil
+}
+
+// InterruptedRuns lists the durable runs whose last snapshot is not terminal
+// — the runs a recovering process should ResumeRun (sorted by run ID).
+func (s *Session) InterruptedRuns() ([]string, error) {
+	if err := s.requireStore(); err != nil {
+		return nil, err
+	}
+	ids, err := s.store.Interrupted()
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return ids, nil
+}
+
+// DurableRunState reports a durable run's checkpointed progress: the restart
+// contour, the budget ledger accumulated across incarnations, and whether
+// the run reached a terminal snapshot.
+func (s *Session) DurableRunState(runID string) (contour int, spent float64, completed bool, err error) {
+	if err := s.requireStore(); err != nil {
+		return 0, 0, false, err
+	}
+	rs, err := s.store.LoadRun(runID)
+	if err != nil {
+		return 0, 0, false, fmt.Errorf("repro: %w", err)
+	}
+	return rs.Discovery.Contour, rs.Discovery.Spent, rs.Completed, nil
+}
+
+// DeleteRun removes a durable run's snapshot (missing snapshots are not an
+// error).
+func (s *Session) DeleteRun(runID string) error {
+	if err := s.requireStore(); err != nil {
+		return err
+	}
+	return s.store.DeleteRun(runID)
+}
+
+// DataDir returns the session's durable data directory ("" when the session
+// is not durable).
+func (s *Session) DataDir() string {
+	if s.store == nil {
+		return ""
+	}
+	return s.store.Dir()
+}
+
+// requireStore guards the durable API against sessions built without a data
+// directory.
+func (s *Session) requireStore() error {
+	if s.store == nil {
+		return fmt.Errorf("repro: session is not durable (set Options.DataDir)")
+	}
+	return nil
+}
+
+// RunDurableWithFaults is RunDurable with a fault plan attached — the chaos
+// entry point for crash-tolerance testing (FaultPlan.CrashAtCheckpoint kills
+// the run loop at a chosen contour boundary; see ErrRunCrashed).
+func (s *Session) RunDurableWithFaults(ctx context.Context, a Algorithm, truth Location, runID string, fp *FaultPlan) (RunResult, error) {
+	return s.RunDurable(faults.With(ctx, fp.internal()), a, truth, runID)
+}
+
+// ResumeRunWithFaults is ResumeRun with a fault plan attached, so chaos
+// suites can crash a run repeatedly across successive resumes.
+func (s *Session) ResumeRunWithFaults(ctx context.Context, runID string, fp *FaultPlan) (RunResult, error) {
+	return s.ResumeRun(faults.With(ctx, fp.internal()), runID)
+}

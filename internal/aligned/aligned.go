@@ -17,6 +17,7 @@ import (
 	"repro/internal/ess"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
+	"repro/internal/runstate"
 	"repro/internal/spillbound"
 	"repro/internal/telemetry"
 )
@@ -42,6 +43,13 @@ type Runner struct {
 	Opt *optimizer.Optimizer
 	// BeamK is the beam width of the constrained search (defaults to 8).
 	BeamK int
+	// Resume, when non-nil, restarts the discovery from a checkpointed
+	// state: the contour index and learnt selectivities (with their
+	// half-space prunes, Lemma 3.1) are restored before the first
+	// execution, mirroring spillbound.Runner.Resume. The outcome reports
+	// only the resumed incarnation's new spend; the caller owns the
+	// carried-over ledger (Resume.Spent).
+	Resume *runstate.Discovery
 }
 
 // NewRunner returns a Runner with the default doubling contours.
@@ -363,7 +371,22 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 	sub := s.Full()
 	var out Outcome
 
-	for i := 0; i < len(costs); {
+	start := 0
+	if r.Resume != nil {
+		// Restore the checkpointed monotone state (contour index plus every
+		// learnt selectivity and its half-space prune); the tail of the
+		// discovery proceeds as in the uninterrupted run.
+		start = r.Resume.Contour
+		if start > len(costs)-1 {
+			start = len(costs) - 1
+		}
+		for dim, sel := range r.Resume.Learned {
+			learned[s.Query.EPPs[dim]] = true
+			sub = sub.Fix(dim, g.CeilIndex(dim, sel))
+		}
+	}
+
+	for i := start; i < len(costs); {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
@@ -380,6 +403,13 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			}
 			out.TotalCost += tail.TotalCost
 			out.Completed = tail.Completed
+			return out, err
+		}
+
+		// Contour-iteration boundary: persist the monotone discovery state
+		// (and give the crash-point injector its window), mirroring
+		// SpillBound's placement after the 1-D hand-off check.
+		if err := runstate.Checkpoint(ctx, i); err != nil {
 			return out, err
 		}
 
@@ -427,6 +457,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 				Penalty: pe.penalty, Native: pe.native,
 			})
 			out.TotalCost += res.Spent
+			runstate.Spend(ctx, res.Spent)
 			rec.Record(telemetry.Event{
 				Kind: telemetry.SpillExec, Contour: i + 1, Dim: pe.leader, PlanID: pe.planID,
 				Budget: pe.budget, Spent: res.Spent, Completed: res.Completed,
@@ -435,12 +466,14 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			if res.Completed {
 				learned[s.Query.EPPs[pe.leader]] = true
 				sub = sub.Fix(pe.leader, g.CeilIndex(pe.leader, res.Learned))
+				runstate.Learn(ctx, pe.leader, res.Learned)
 				rec.Record(telemetry.Event{
 					Kind: telemetry.HalfSpacePrune, Contour: i + 1, Dim: pe.leader, Learned: res.Learned,
 				})
 				progressed = true
 				break
 			}
+			runstate.Bound(ctx, pe.leader, res.Learned)
 		}
 		if !progressed {
 			i++
@@ -465,6 +498,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 		},
 	})
 	out.TotalCost += res.Spent
+	runstate.Spend(ctx, res.Spent)
 	out.Completed = true
 	return out, nil
 }

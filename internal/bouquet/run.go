@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/ess"
+	"repro/internal/runstate"
 	"repro/internal/telemetry"
 )
 
@@ -78,6 +79,12 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
+		// Contour boundary: persist the durable restart point (and let the
+		// crash-point injector fire). A crash inside this contour redoes at
+		// most this contour's executions on resume.
+		if err := runstate.Checkpoint(ctx, i); err != nil {
+			return out, err
+		}
 		rec.EnterContour(i + 1)
 		cells := sub.ContourCellsCached(costs[i])
 		for _, id := range distinctPlans(a, cells) {
@@ -95,6 +102,7 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 				Spent: res.Spent, Completed: res.Completed,
 			})
 			out.TotalCost += res.Spent
+			runstate.Spend(ctx, res.Spent)
 			if res.Completed {
 				out.Completed = true
 				out.FinalPlanID = id
@@ -120,6 +128,7 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 		Contour: len(costs) - 1, PlanID: a.PlanIDAt(ci), Budget: res.Spent, Spent: res.Spent, Completed: true,
 	})
 	out.TotalCost += res.Spent
+	runstate.Spend(ctx, res.Spent)
 	out.Completed = true
 	out.FinalPlanID = a.PlanIDAt(ci)
 	return out, nil

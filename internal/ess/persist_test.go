@@ -2,6 +2,7 @@ package ess
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
 
@@ -63,6 +64,34 @@ func TestLoadRejectsCorruptInput(t *testing.T) {
 	m1 := cost.MustNewModel(&q1, cost.PostgresLike())
 	if _, err := Load(&buf, m1); err == nil || !strings.Contains(err.Error(), "dims") {
 		t.Errorf("dimension mismatch should fail, got %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedInput(t *testing.T) {
+	s := buildSpace(t, 6)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write leaves a torn file; every prefix must error out (not
+	// panic, not return a partial space).
+	full := buf.Bytes()
+	for _, n := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		if sp, err := Load(bytes.NewReader(full[:n]), s.Model); err == nil || sp != nil {
+			t.Errorf("truncated input (%d/%d bytes) should fail, got space=%v err=%v", n, len(full), sp != nil, err)
+		}
+	}
+}
+
+func TestLoadRejectsVersionSkew(t *testing.T) {
+	s := buildSpace(t, 6)
+	var buf bytes.Buffer
+	dto := spaceDTO{Version: persistVersion + 1, GridPoints: s.Grid.Points}
+	if err := gob.NewEncoder(&buf).Encode(&dto); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf, s.Model); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future persist version should fail, got %v", err)
 	}
 }
 

@@ -26,6 +26,15 @@ var ErrInjected = errors.New("faults: injected failure")
 // IsInjected reports whether the error originates from a fault plan.
 func IsInjected(err error) bool { return errors.Is(err, ErrInjected) }
 
+// ErrCrashed marks a process-internal "kill" injected at a checkpoint
+// boundary: the run loop aborts as if the process had died there, without
+// the retry/degradation ladder absorbing it — recovery is the resume path's
+// job, not the retry policy's. Deliberately NOT wrapped around ErrInjected.
+var ErrCrashed = errors.New("faults: injected crash")
+
+// IsCrash reports whether the error is an injected checkpoint crash.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrashed) }
+
 // Plan describes which faults to inject and when. Counters are 1-based over
 // the executions observed by the consulted layer; the zero value injects
 // nothing. A Plan is safe for concurrent use.
@@ -50,11 +59,18 @@ type Plan struct {
 	// the engine spends past its assigned budget, as a misbehaving operator
 	// would. Values <= 1 disable.
 	BudgetOverrun float64
+	// CrashAtCheckpoint aborts the run loop with ErrCrashed at the Nth
+	// checkpoint boundary (1-based) — a process-internal "kill" that fires
+	// *before* the snapshot is persisted, so the last durable state is the
+	// previous checkpoint and the resume path must redo the in-flight
+	// contour (the bounded-redo case). 0 disables.
+	CrashAtCheckpoint int
 
-	mu        sync.Mutex
-	execs     int
-	costEvals int
-	injected  int
+	mu          sync.Mutex
+	execs       int
+	costEvals   int
+	checkpoints int
+	injected    int
 }
 
 // ctxKey is the private context key for the active plan.
@@ -137,6 +153,39 @@ func (p *Plan) OnCostEval() error {
 	return nil
 }
 
+// OnCheckpoint is called by the run-state layer at each checkpoint
+// boundary, before the snapshot is persisted; it returns ErrCrashed when
+// the crash counter fires, simulating the process dying at the boundary.
+// Nil-safe.
+func (p *Plan) OnCheckpoint() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	p.checkpoints++
+	n := p.checkpoints
+	at := p.CrashAtCheckpoint
+	inject := at > 0 && n == at
+	if inject {
+		p.injected++
+	}
+	p.mu.Unlock()
+	if inject {
+		return fmt.Errorf("%w (checkpoint %d)", ErrCrashed, n)
+	}
+	return nil
+}
+
+// Checkpoints reports how many checkpoint boundaries the plan has observed.
+func (p *Plan) Checkpoints() int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.checkpoints
+}
+
 // OverrunFactor returns the charged-cost multiplier (1 when disabled).
 // Nil-safe.
 func (p *Plan) OverrunFactor() float64 {
@@ -166,11 +215,13 @@ func (p *Plan) Execs() int {
 	return p.execs
 }
 
-// sleepCtx sleeps for d or until the context is done, whichever first.
+// sleepCtx sleeps for d or until the context is done, whichever first. A
+// nil context (callers without cancellation) degrades to the background
+// context rather than a bare time.Sleep, so every latency injection stays
+// on the cancellable timer path.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if ctx == nil {
-		time.Sleep(d)
-		return nil
+		ctx = context.Background()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()

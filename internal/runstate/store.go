@@ -1,0 +1,167 @@
+package runstate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store manages one session's durable data directory:
+//
+//	<dir>/space.ess       the persisted ESS (written by the session layer)
+//	<dir>/runs/<id>.json  one versioned RunState snapshot per durable run
+//
+// All writes are atomic (temp file in the same directory + rename), so a
+// crash mid-write never corrupts the previous snapshot: readers see either
+// the old state or the new one, never a torn file.
+type Store struct {
+	dir string
+}
+
+// NewStore opens (creating if needed) the session data directory.
+func NewStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("runstate: empty data directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+// SpacePath returns the path the persisted ESS lives at.
+func (st *Store) SpacePath() string { return filepath.Join(st.dir, "space.ess") }
+
+// runPath returns the snapshot path of a run.
+func (st *Store) runPath(runID string) string {
+	return filepath.Join(st.dir, "runs", runID+".json")
+}
+
+// validRunID rejects IDs that would escape the runs directory.
+func validRunID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || id == "." || id == ".." {
+		return fmt.Errorf("runstate: invalid run id %q", id)
+	}
+	return nil
+}
+
+// SaveRun atomically persists the snapshot under its RunID.
+func (st *Store) SaveRun(rs *RunState) error {
+	if err := validRunID(rs.RunID); err != nil {
+		return err
+	}
+	rs.SchemaVersion = Version
+	data, err := json.Marshal(rs)
+	if err != nil {
+		return fmt.Errorf("runstate: encode run %s: %w", rs.RunID, err)
+	}
+	return WriteFileAtomic(st.runPath(rs.RunID), data)
+}
+
+// LoadRun reads and validates a run snapshot.
+func (st *Store) LoadRun(runID string) (*RunState, error) {
+	if err := validRunID(runID); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(st.runPath(runID))
+	if err != nil {
+		return nil, fmt.Errorf("runstate: load run %s: %w", runID, err)
+	}
+	var rs RunState
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("runstate: load run %s: %w", runID, err)
+	}
+	if rs.SchemaVersion != Version {
+		return nil, fmt.Errorf("runstate: load run %s: unsupported version %d", runID, rs.SchemaVersion)
+	}
+	if rs.RunID == "" {
+		rs.RunID = runID
+	}
+	return &rs, nil
+}
+
+// DeleteRun removes a run snapshot (missing files are not an error).
+func (st *Store) DeleteRun(runID string) error {
+	if err := validRunID(runID); err != nil {
+		return err
+	}
+	if err := os.Remove(st.runPath(runID)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("runstate: delete run %s: %w", runID, err)
+	}
+	return nil
+}
+
+// Runs lists every run snapshot ID in the store, sorted.
+func (st *Store) Runs() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "runs"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("runstate: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		out = append(out, strings.TrimSuffix(name, ".json"))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Interrupted lists the runs whose last snapshot is not terminal — the runs
+// a recovering process should resume (or fail over). Snapshots that fail to
+// load (torn by a crash predating atomic writes, or version-skewed) are
+// skipped rather than wedging recovery.
+func (st *Store) Interrupted() ([]string, error) {
+	ids, err := st.Runs()
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, id := range ids {
+		rs, err := st.LoadRun(id)
+		if err != nil || rs.Completed {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// followed by a rename, so concurrent readers and post-crash recovery never
+// observe a partially written file.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("runstate: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstate: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("runstate: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("runstate: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("runstate: commit %s: %w", path, err)
+	}
+	return nil
+}

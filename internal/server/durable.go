@@ -1,0 +1,331 @@
+// Server-side durability: session metadata persistence, crash recovery and
+// the durable run resources. A server started with Config.DataDir lays out
+//
+//	<dataDir>/<sessionID>/session.json   creation metadata (this file)
+//	<dataDir>/<sessionID>/space.ess      persisted ESS (session layer)
+//	<dataDir>/<sessionID>/runs/<id>.json checkpointed run states (runstate)
+//
+// Recover replays that layout after a restart: every session directory is
+// re-registered and rebuilt asynchronously — rehydrating the persisted ESS,
+// so a ready session comes back without re-running the optimizer enumeration
+// — and each interrupted durable run is resumed from its last checkpoint (or
+// failed over with the error recorded on its run resource).
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	repro "repro"
+	"repro/internal/runstate"
+	"repro/internal/workload"
+)
+
+// sessionMeta is the versioned creation record persisted per durable
+// session, enough to replay handleCreateSession's work after a restart.
+type sessionMeta struct {
+	ID      string `json:"id"`
+	Query   string `json:"query"`
+	GridRes int    `json:"gridRes,omitempty"`
+	Profile string `json:"profile,omitempty"`
+}
+
+// saveSessionMeta atomically persists the creation record into the session
+// directory (creating it if needed).
+func saveSessionMeta(dir string, meta sessionMeta) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	return runstate.WriteFileAtomic(filepath.Join(dir, "session.json"), data)
+}
+
+// loadSessionMeta reads a session directory's creation record.
+func loadSessionMeta(dir string) (sessionMeta, error) {
+	var meta sessionMeta
+	data, err := os.ReadFile(filepath.Join(dir, "session.json"))
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return meta, fmt.Errorf("session metadata %s: %w", dir, err)
+	}
+	return meta, nil
+}
+
+// Recover re-registers every session persisted under Config.DataDir and
+// launches its asynchronous rebuild: the persisted ESS is rehydrated (no
+// optimizer enumeration), and once the session is ready its interrupted
+// durable runs are resumed from their last checkpoints. Call it once, after
+// construction and before serving. Directories whose metadata is unreadable
+// are skipped (logged via the returned error list semantics: the first error
+// is returned after all recoverable sessions have been launched).
+func (s *Server) Recover(ctx context.Context) error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("server: recover: %w", err)
+	}
+	var firstErr error
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		meta, err := loadSessionMeta(filepath.Join(s.cfg.DataDir, ent.Name()))
+		if err != nil {
+			if firstErr == nil && !os.IsNotExist(err) {
+				firstErr = err
+			}
+			continue
+		}
+		if meta.ID == "" {
+			meta.ID = ent.Name()
+		}
+		if err := s.recoverSession(meta); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// recoverSession re-registers one persisted session and launches its
+// rebuild + run-resume pipeline in the background.
+func (s *Server) recoverSession(meta sessionMeta) error {
+	sp, ok := workload.ByName(meta.Query)
+	if !ok {
+		return fmt.Errorf("server: recover %s: unknown query %q", meta.ID, meta.Query)
+	}
+	opts := repro.BenchmarkOptions()
+	opts.Workers = s.cfg.BuildWorkers
+	if meta.Profile == "commercial" {
+		opts.Params = repro.CommercialProfile()
+	}
+	if meta.GridRes != 0 {
+		opts.GridRes = meta.GridRes
+	}
+	dir := filepath.Join(s.cfg.DataDir, meta.ID)
+	opts.DataDir = dir
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &session{
+		id: meta.ID, query: sp.Name, d: sp.D, dataDir: dir,
+		status: statusBuilding, lastUsed: time.Now(), cancel: cancel,
+		runs: map[string]*runRecord{},
+	}
+	s.mu.Lock()
+	if _, exists := s.sessions[e.id]; exists {
+		s.mu.Unlock()
+		cancel()
+		return fmt.Errorf("server: recover: duplicate session id %q", e.id)
+	}
+	s.sessions[e.id] = e
+	// Advance the ID allocator past recovered sessions so new creations
+	// cannot collide with recovered directories.
+	if n, err := strconv.Atoi(strings.TrimPrefix(e.id, "s")); err == nil && n > s.nextID {
+		s.nextID = n
+	}
+	s.mu.Unlock()
+
+	s.buildWG.Add(1)
+	go func() {
+		defer s.buildWG.Done()
+		defer cancel()
+		start := time.Now()
+		sess, err := buildSession(ctx, sp, opts)
+		s.metrics.buildDuration.Observe(time.Since(start).Seconds())
+		s.mu.Lock()
+		e.lastUsed = time.Now()
+		if err != nil {
+			e.status = statusFailed
+			e.buildErr = err
+			s.mu.Unlock()
+			s.metrics.builds.With("failed").Inc()
+			return
+		}
+		e.sess = sess
+		e.status = statusReady
+		s.mu.Unlock()
+		s.metrics.builds.With("ok").Inc()
+		s.resumeInterrupted(ctx, e, sess)
+	}()
+	return nil
+}
+
+// resumeInterrupted drives every interrupted durable run of a recovered
+// session to completion from its last checkpoint. A run whose resume fails
+// (corrupt snapshot, dimensionality skew, cancellation at shutdown) is
+// failed over: the error lands on its run resource instead of wedging
+// recovery, and its checkpoint stays on disk for inspection.
+func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.Session) {
+	ids, err := sess.InterruptedRuns()
+	if err != nil {
+		return
+	}
+	for _, rid := range ids {
+		s.noteRunSeq(e, rid)
+		res, err := sess.ResumeRun(ctx, rid)
+		s.mu.Lock()
+		if err != nil {
+			e.runs[rid] = &runRecord{status: runFailed, resumed: true, err: err.Error()}
+			s.mu.Unlock()
+			continue
+		}
+		s.mu.Unlock()
+		algo := res.Algorithm
+		s.metrics.resumes.Inc()
+		s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
+		resp := s.buildRunResponse(sess, algo, res)
+		s.recordRun(e, res, resp)
+	}
+}
+
+// noteRunSeq advances the session's run-ID allocator past a recovered run
+// named with the server's own "r<N>" scheme.
+func (s *Server) noteRunSeq(e *session, rid string) {
+	n, err := strconv.Atoi(strings.TrimPrefix(rid, "r"))
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if n > e.runSeq {
+		e.runSeq = n
+	}
+	s.mu.Unlock()
+}
+
+// retryAfterSeconds estimates when session capacity plausibly frees up: the
+// next idle-eviction sweep, floored at one second, or a conservative default
+// when eviction is disabled.
+func (s *Server) retryAfterSeconds() int {
+	interval := s.cfg.EvictInterval
+	if interval <= 0 && s.cfg.SessionTTL > 0 {
+		interval = s.cfg.SessionTTL / 4
+	}
+	if interval <= 0 {
+		return 30
+	}
+	if secs := int(interval / time.Second); secs >= 1 {
+		return secs
+	}
+	return 1
+}
+
+// runInfo is one durable run resource: the on-disk checkpoint state merged
+// with what the serving process remembers about the run.
+type runInfo struct {
+	RunID string `json:"runId"`
+	// Status is completed, interrupted, or failed (resume fail-over).
+	Status string `json:"status"`
+	// Resumed reports the run was rehydrated from a crash checkpoint.
+	Resumed bool `json:"resumed,omitempty"`
+	// Contour is the checkpointed restart contour (1-based for symmetry
+	// with traces; 1 means no contour was completed yet).
+	Contour int `json:"contour"`
+	// Spent is the checkpointed budget ledger across incarnations.
+	Spent float64 `json:"spent"`
+	// SubOpt is the final sub-optimality (completed runs only).
+	SubOpt float64 `json:"subOpt,omitempty"`
+	// Error is the terminal fail-over error, if any.
+	Error string `json:"error,omitempty"`
+}
+
+// handleListRuns serves GET /v1/sessions/{id}/runs: every durable run of the
+// session, recovered or started by this process, sorted by run ID.
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	sess, ok := s.ready(w, e)
+	if !ok {
+		return
+	}
+	if e.dataDir == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Errorf("session %s is not durable (server started without -data)", e.id))
+		return
+	}
+	ids, err := sess.DurableRuns()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		return
+	}
+	out := make([]runInfo, 0, len(ids))
+	for _, rid := range ids {
+		if info, ok := s.runInfoFor(e, sess, rid); ok {
+			out = append(out, info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RunID < out[j].RunID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleGetRun serves GET /v1/sessions/{id}/runs/{rid}: the full run result
+// when this process holds one (completed durable run), otherwise the
+// checkpoint-level run info.
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	sess, ok := s.ready(w, e)
+	if !ok {
+		return
+	}
+	rid := r.PathValue("rid")
+	s.mu.Lock()
+	rec := e.runs[rid]
+	s.mu.Unlock()
+	if rec != nil && rec.resp != nil {
+		writeJSON(w, http.StatusOK, rec.resp)
+		return
+	}
+	info, ok := s.runInfoFor(e, sess, rid)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no run %q in session %s", rid, e.id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// runInfoFor merges a run's durable snapshot with the in-memory record.
+func (s *Server) runInfoFor(e *session, sess *repro.Session, rid string) (runInfo, bool) {
+	contour, spent, completed, err := sess.DurableRunState(rid)
+	if err != nil {
+		return runInfo{}, false
+	}
+	info := runInfo{RunID: rid, Contour: contour + 1, Spent: spent, Status: runInterrupted}
+	if completed {
+		info.Status = runCompleted
+	}
+	s.mu.Lock()
+	if rec := e.runs[rid]; rec != nil {
+		info.Resumed = rec.resumed
+		info.Error = rec.err
+		if rec.status != "" {
+			info.Status = rec.status
+		}
+		if rec.resp != nil {
+			info.SubOpt = rec.resp.SubOpt
+		}
+	}
+	s.mu.Unlock()
+	return info, true
+}

@@ -45,6 +45,9 @@ type serverMetrics struct {
 	builds        *telemetry.CounterVec // result
 	buildCells    *telemetry.Counter
 	buildDuration *telemetry.Histogram
+
+	checkpoints *telemetry.Counter
+	resumes     *telemetry.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -80,6 +83,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		buildDuration: reg.Histogram("rqp_session_build_seconds",
 			"Wall time of asynchronous ESS session builds in seconds.",
 			buildBuckets),
+		checkpoints: reg.Counter("rqp_checkpoints_total",
+			"Durable run-state snapshots persisted at contour boundaries."),
+		resumes: reg.Counter("rqp_resumes_total",
+			"Durable runs resumed from a crash checkpoint after recovery."),
 	}
 	reg.GaugeFunc("rqp_sessions", "Live sessions in the registry.",
 		func() float64 { return float64(s.SessionCount()) })

@@ -78,8 +78,17 @@ type apiError struct {
 	Message string `json:"message"`
 }
 
-// writeError emits the uniform error envelope.
+// writeError emits the uniform error envelope. Overload responses — 429
+// (session limit) and 5xx the client should back off from (503/504) — carry
+// a Retry-After header; call sites with better knowledge (e.g. the eviction
+// cadence behind a 429) may set it first and win.
 func writeError(w http.ResponseWriter, status int, code string, err error) {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+	}
 	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: err.Error()}})
 }
 

@@ -15,8 +15,18 @@
 //	GET  /v1/sessions/{id}             session status, progress, metadata + guarantees once ready
 //	POST /v1/sessions/{id}/run         {"algorithm":"spillbound","truth":[0.8,0.008,0.05,0.6]}
 //	GET  /v1/sessions/{id}/sweep?algorithm=spillbound&max=200
+//	GET  /v1/sessions/{id}/runs        durable run resources (servers started with a data directory)
+//	GET  /v1/sessions/{id}/runs/{rid}  one durable run: full result, or checkpoint state if interrupted
 //	GET  /v1/queries                   benchmark query list
 //	GET  /v1/healthz
+//
+// A server configured with Config.DataDir is durable: sessions persist their
+// ESS and run checkpoints under per-session directories, run requests may
+// set {"durable":true} to checkpoint discovery state at every contour
+// boundary, and a restarted server (Recover) rehydrates ready sessions
+// without rebuilding and resumes interrupted runs — resumed results report
+// "resumed": true. Overload responses (429, 503, 504) carry a Retry-After
+// header.
 //
 // Every error response uses the uniform envelope
 //
@@ -36,6 +46,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -69,6 +80,12 @@ type Config struct {
 	// BuildWorkers bounds each session build's parallelism (0 = GOMAXPROCS,
 	// 1 = serial). The built space is identical regardless.
 	BuildWorkers int
+	// DataDir, when non-empty, makes the server durable: each session gets
+	// a subdirectory holding its creation metadata, its persisted ESS and
+	// its checkpointed run states. A restarted server pointed at the same
+	// directory (Recover) rehydrates ready sessions without rebuilding the
+	// ESS and resumes interrupted durable runs from their last checkpoint.
+	DataDir string
 }
 
 // DefaultConfig returns the production guard rails: 30s request budget,
@@ -106,9 +123,10 @@ type Server struct {
 }
 
 type session struct {
-	id    string
-	query string
-	d     int
+	id      string
+	query   string
+	d       int
+	dataDir string // per-session durable directory ("" = not durable)
 
 	// Guarded by Server.mu.
 	status   string
@@ -116,11 +134,30 @@ type session struct {
 	buildErr error          // set when status == failed
 	lastUsed time.Time
 	cancel   context.CancelFunc // aborts the in-flight build
+	runSeq   int                // durable run ID allocator
+	runs     map[string]*runRecord
 
 	// Build progress, updated lock-free from build workers.
 	cellsDone  atomic.Int64
 	cellsTotal atomic.Int64
 }
+
+// runRecord is the in-memory state of one durable run, complementing the
+// on-disk checkpoint snapshot with what only the serving process knows: the
+// full result of a completed incarnation and whether it was resumed.
+type runRecord struct {
+	status  string // runCompleted, runInterrupted, runFailed
+	resumed bool
+	resp    *runResponse // non-nil once a completed result exists
+	err     string       // terminal resume/fail-over error, if any
+}
+
+// Durable run lifecycle states reported by the run resources.
+const (
+	runCompleted   = "completed"
+	runInterrupted = "interrupted"
+	runFailed      = "failed"
+)
 
 // New returns an empty server with no operational guards (zero Config).
 func New() *Server {
@@ -170,6 +207,9 @@ func (s *Server) Handler() http.Handler {
 	route("GET /sessions/{id}", s.handleGetSession)
 	route("POST /sessions/{id}/run", s.handleRun)
 	route("GET /sessions/{id}/sweep", s.handleSweep)
+	// Durable run resources are new in /v1 and have no legacy alias.
+	v1("GET /sessions/{id}/runs", s.handleListRuns)
+	v1("GET /sessions/{id}/runs/{rid}", s.handleGetRun)
 	v1("GET /metrics", m.handleMetrics)
 	v1("GET /debug/stats", m.handleDebugStats)
 	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
@@ -353,13 +393,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		full := len(s.sessions) >= s.cfg.MaxSessions
 		s.mu.Unlock()
 		if full {
+			// Retry-After tells well-behaved clients when capacity plausibly
+			// frees up: the next eviction sweep (see README, API errors).
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeError(w, http.StatusTooManyRequests, codeTooManySessions, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
 			return
 		}
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	e := &session{query: sp.Name, d: sp.D, status: statusBuilding, lastUsed: time.Now(), cancel: cancel}
+	e := &session{query: sp.Name, d: sp.D, status: statusBuilding, lastUsed: time.Now(), cancel: cancel, runs: map[string]*runRecord{}}
 	total := 1
 	for i := 0; i < sp.D; i++ {
 		total *= res
@@ -378,6 +421,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	e.id = fmt.Sprintf("s%d", s.nextID)
 	s.sessions[e.id] = e
 	s.mu.Unlock()
+
+	if s.cfg.DataDir != "" {
+		// Durable session: pin its data directory and persist the creation
+		// metadata before the build starts, so a crashed process can recover
+		// the session (Recover) even if it dies mid-build.
+		e.dataDir = filepath.Join(s.cfg.DataDir, e.id)
+		opts.DataDir = e.dataDir
+		if err := saveSessionMeta(e.dataDir, sessionMeta{ID: e.id, Query: sp.Name, GridRes: req.GridRes, Profile: req.Profile}); err != nil {
+			s.mu.Lock()
+			delete(s.sessions, e.id)
+			s.mu.Unlock()
+			cancel()
+			writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("persist session metadata: %v", err))
+			return
+		}
+	}
 
 	s.buildWG.Add(1)
 	go func() {
@@ -476,6 +535,14 @@ type runRequest struct {
 	Algorithm string `json:"algorithm"`
 	// Truth is the actual selectivity location (one value per epp).
 	Truth []float64 `json:"truth"`
+	// Durable checkpoints the run's discovery state at every contour
+	// boundary (requires a server started with a data directory); a run
+	// interrupted by a process crash is then resumed on recovery instead of
+	// being lost. The response carries the run ID.
+	Durable bool `json:"durable,omitempty"`
+	// RunID names the durable run (optional; the server allocates one when
+	// empty). Ignored for non-durable runs.
+	RunID string `json:"runId,omitempty"`
 }
 
 // runResponse mirrors repro.RunResult for the wire.
@@ -498,6 +565,11 @@ type runResponse struct {
 	// field is then omitted — the MSO bound no longer applies).
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// RunID names the durable run the result belongs to (durable runs only).
+	RunID string `json:"runId,omitempty"`
+	// Resumed reports the run was rehydrated from a crash checkpoint;
+	// TotalCost then spans every process incarnation's checkpointed spend.
+	Resumed bool `json:"resumed,omitempty"`
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -519,7 +591,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	res, err := sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
+	var res repro.RunResult
+	if req.Durable {
+		if e.dataDir == "" {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("durable runs need a server data directory (rqpd -data)"))
+			return
+		}
+		runID := req.RunID
+		if runID == "" {
+			s.mu.Lock()
+			e.runSeq++
+			runID = fmt.Sprintf("r%d", e.runSeq)
+			s.mu.Unlock()
+		}
+		res, err = sess.RunDurable(r.Context(), algo, repro.Location(req.Truth), runID)
+	} else {
+		res, err = sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
+	}
 	if err != nil {
 		s.metrics.runs.With(algo.String(), "error").Inc()
 		status, code := runErrorStatus(err)
@@ -527,17 +616,41 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
-	resp := runResponse{
+	resp := s.buildRunResponse(sess, algo, res)
+	if req.Durable {
+		s.recordRun(e, res, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildRunResponse converts a library run result to the wire form and
+// accounts its durable checkpoint events.
+func (s *Server) buildRunResponse(sess *repro.Session, algo repro.Algorithm, res repro.RunResult) *runResponse {
+	resp := &runResponse{
 		Algorithm: algo.String(), TotalCost: res.TotalCost,
 		OptimalCost: res.OptimalCost, SubOpt: res.SubOpt,
 		Steps: len(res.Steps), Trace: res.Trace, Events: res.Events,
 		Retries: res.Retries,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
+		RunID: res.RunID, Resumed: res.Resumed,
 	}
 	if g := sess.Guarantee(algo); g < 1e300 && !res.Degraded {
 		resp.Guarantee = g
 	}
-	writeJSON(w, http.StatusOK, resp)
+	for _, ev := range res.Events {
+		if ev.Kind == telemetry.CheckpointSave {
+			s.metrics.checkpoints.Inc()
+		}
+	}
+	return resp
+}
+
+// recordRun retains a durable run's completed result in the session's
+// in-memory run table, backing the run resources.
+func (s *Server) recordRun(e *session, res repro.RunResult, resp *runResponse) {
+	s.mu.Lock()
+	e.runs[res.RunID] = &runRecord{status: runCompleted, resumed: res.Resumed, resp: resp}
+	s.mu.Unlock()
 }
 
 // sweepResponse mirrors repro.SweepSummary.

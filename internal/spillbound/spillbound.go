@@ -17,6 +17,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/ess"
+	"repro/internal/runstate"
 	"repro/internal/telemetry"
 )
 
@@ -99,6 +100,13 @@ type Runner struct {
 	Space *ess.Space
 	// Ratio is the contour cost ratio (the paper's default doubling).
 	Ratio float64
+	// Resume, when non-nil, restarts the discovery from a checkpointed
+	// state instead of from scratch: the contour index and the learnt
+	// selectivities (and hence the pruned half-spaces, Lemma 3.1) are
+	// restored before the first execution. The outcome then reports only
+	// the resumed incarnation's new executions and spend; the caller owns
+	// the carried-over budget ledger (Resume.Spent).
+	Resume *runstate.Discovery
 }
 
 // NewRunner returns a Runner with the paper's default cost-doubling
@@ -161,7 +169,26 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 	spilledOnContour := make(map[int]bool)
 	contourOfSpills := -1
 
-	for i := 0; i < len(costs); {
+	start := 0
+	if r.Resume != nil {
+		// Restore the checkpointed monotone state: the contour about to be
+		// explored and every fully learnt selectivity with its half-space
+		// prune. Discovery from here on is identical to the uninterrupted
+		// run's tail — the state is monotone, so the snapshot is always a
+		// valid (merely conservative) restart point.
+		start = r.Resume.Contour
+		if start > len(costs)-1 {
+			start = len(costs) - 1
+		}
+		for dim, sel := range r.Resume.Learned {
+			learned[s.Query.EPPs[dim]] = true
+			learnedDim[dim] = true
+			learnedSel[dim] = sel
+			sub = sub.Fix(dim, g.CeilIndex(dim, sel))
+		}
+	}
+
+	for i := start; i < len(costs); {
 		if err := ctx.Err(); err != nil {
 			return out, err
 		}
@@ -179,6 +206,14 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			}
 			out.TotalCost += tail.TotalCost
 			out.Completed = tail.Completed
+			return out, err
+		}
+
+		// Contour-iteration boundary: persist the monotone discovery state
+		// (and give the crash-point injector its window). Re-explorations of
+		// the same contour after a prune checkpoint again — the learnt set
+		// grew, so the restart point improved.
+		if err := runstate.Checkpoint(ctx, i); err != nil {
 			return out, err
 		}
 
@@ -216,6 +251,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			spilledOnContour[dim] = true
 			out.Executions = append(out.Executions, x)
 			out.TotalCost += res.Spent
+			runstate.Spend(ctx, res.Spent)
 			rec.Record(telemetry.Event{
 				Kind: telemetry.SpillExec, Contour: i + 1, Dim: dim, PlanID: x.PlanID,
 				Budget: x.Budget, Spent: x.Spent, Completed: x.Completed,
@@ -229,12 +265,14 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 				learnedDim[dim] = true
 				learnedSel[dim] = res.Learned
 				sub = sub.Fix(dim, g.CeilIndex(dim, res.Learned))
+				runstate.Learn(ctx, dim, res.Learned)
 				rec.Record(telemetry.Event{
 					Kind: telemetry.HalfSpacePrune, Contour: i + 1, Dim: dim, Learned: res.Learned,
 				})
 				progressed = true
 				break
 			}
+			runstate.Bound(ctx, dim, res.Learned)
 		}
 		if !progressed {
 			i++ // quantum progress: jump to the next contour (Lemma 4.3)
@@ -259,6 +297,7 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 		Budget: res.Spent, Spent: res.Spent, Completed: true,
 	})
 	out.TotalCost += res.Spent
+	runstate.Spend(ctx, res.Spent)
 	out.Completed = true
 	return out, nil
 }

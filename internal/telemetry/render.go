@@ -56,6 +56,11 @@ func renderExec(b *strings.Builder, ev Event) {
 		}
 		fmt.Fprintf(b, "IC%d: p%d|%.4g spill dim %d → %.3g%s\n",
 			ev.Contour, ev.PlanID, ev.Budget, ev.Dim, ev.Learned, tag)
+	case RunResume:
+		// Only durable resumed runs carry this event, so legacy traces stay
+		// byte-identical.
+		fmt.Fprintf(b, "resumed: run %s from checkpoint at IC%d, ledger %.4g\n",
+			ev.Detail, ev.Contour, ev.Spent)
 	}
 }
 

@@ -50,6 +50,14 @@ const (
 	// Degrade records the fall back to the Native plan after the retry
 	// budget was exhausted; the MSO guarantee no longer applies.
 	Degrade Kind = "degrade"
+	// CheckpointSave records a durable run-state snapshot landing at a
+	// contour boundary (crash tolerance; Spent carries the budget ledger,
+	// Detail the run ID).
+	CheckpointSave Kind = "checkpoint_save"
+	// RunResume opens the event stream of a resumed incarnation: Contour is
+	// the restart contour, Spent the ledger carried over from the crashed
+	// incarnation, Detail the run ID.
+	RunResume Kind = "run_resume"
 	// Done terminates the stream with the run's aggregate outcome.
 	Done Kind = "done"
 )

@@ -51,6 +51,13 @@ type FaultPlan struct {
 	// BudgetOverrun > 1 multiplies every execution's charged cost, like an
 	// operator spending past its assigned budget.
 	BudgetOverrun float64
+	// CrashAtCheckpoint kills the run loop at the Nth contour-boundary
+	// checkpoint (1-based), *before* the snapshot lands — simulating the
+	// process dying there. Unlike the other faults it bypasses the
+	// retry/degradation ladder: the run aborts with an error matched by
+	// ErrRunCrashed, and ResumeRun recovers from the previous durable
+	// snapshot (0 = never).
+	CrashAtCheckpoint int
 }
 
 // internal converts the public plan to the context-threaded form.
@@ -59,12 +66,13 @@ func (fp *FaultPlan) internal() *faults.Plan {
 		return nil
 	}
 	return &faults.Plan{
-		FailExecAt:     fp.FailExecAt,
-		FailExecCount:  fp.FailExecCount,
-		PanicExecAt:    fp.PanicExecAt,
-		FailCostEvalAt: fp.FailCostEvalAt,
-		Latency:        fp.Latency,
-		BudgetOverrun:  fp.BudgetOverrun,
+		FailExecAt:        fp.FailExecAt,
+		FailExecCount:     fp.FailExecCount,
+		PanicExecAt:       fp.PanicExecAt,
+		FailCostEvalAt:    fp.FailCostEvalAt,
+		Latency:           fp.Latency,
+		BudgetOverrun:     fp.BudgetOverrun,
+		CrashAtCheckpoint: fp.CrashAtCheckpoint,
 	}
 }
 

@@ -1,10 +1,12 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"runtime"
 
 	"repro/internal/aligned"
@@ -12,11 +14,13 @@ import (
 	"repro/internal/cost"
 	"repro/internal/engine"
 	"repro/internal/ess"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/native"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/runstate"
 	"repro/internal/spillbound"
 	"repro/internal/sqlmini"
 	"repro/internal/telemetry"
@@ -91,6 +95,13 @@ type Options struct {
 	// (cells optimized, total cells). It is invoked concurrently from
 	// build workers; implementations must be safe for concurrent use.
 	BuildProgress func(done, total int)
+	// DataDir, when non-empty, makes the session durable: the built ESS is
+	// persisted under the directory (and rehydrated on the next start,
+	// skipping the optimizer enumeration), and RunDurable/ResumeRun
+	// checkpoint run state there so interrupted runs survive a process
+	// crash. The directory is created if needed; one directory serves one
+	// session (query + options) at a time.
+	DataDir string
 }
 
 // workers resolves the configured parallelism (0 = GOMAXPROCS).
@@ -131,6 +142,7 @@ type Session struct {
 	space *ess.Space
 	diag  *bouquet.Diagram
 	opt   *optimizer.Shared
+	store *runstate.Store // non-nil iff Options.DataDir was set
 }
 
 // NewSession parses and binds the SQL against the catalog, marks the given
@@ -163,11 +175,82 @@ func NewSessionContext(ctx context.Context, cat *Catalog, sql string, epps []str
 		return nil, err
 	}
 	grid := ess.NewGrid(q.D(), opts.GridRes, opts.GridLo)
-	sp, err := ess.BuildParallelContext(ctx, m, grid, opts.workers(), ess.BuildProgress(opts.BuildProgress))
+
+	var store *runstate.Store
+	var sp *ess.Space
+	if opts.DataDir != "" {
+		store, err = runstate.NewStore(opts.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		// Rehydrate the persisted ESS when one matching the requested grid
+		// exists — a restarted process then skips the optimizer enumeration
+		// entirely. A missing, corrupt or grid-mismatched file falls back to
+		// a fresh build (which then replaces it).
+		sp = loadSpaceFile(store.SpacePath(), m, grid)
+	}
+	if sp == nil {
+		sp, err = ess.BuildParallelContext(ctx, m, grid, opts.workers(), ess.BuildProgress(opts.BuildProgress))
+		if err != nil {
+			return nil, err
+		}
+		if store != nil {
+			if err := saveSpaceFile(store.SpacePath(), sp); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s, err := newSession(opts, q, m, sp)
 	if err != nil {
 		return nil, err
 	}
-	return newSession(opts, q, m, sp)
+	s.store = store
+	return s, nil
+}
+
+// loadSpaceFile loads a persisted ESS and validates it against the requested
+// grid, returning nil (build from scratch) on any failure — durability must
+// never wedge session construction on a stale artifact.
+func loadSpaceFile(path string, m *cost.Model, want ess.Grid) *ess.Space {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil
+	}
+	defer f.Close()
+	sp, err := ess.Load(f, m)
+	if err != nil || !gridsEqual(sp.Grid, want) {
+		return nil
+	}
+	return sp
+}
+
+// saveSpaceFile persists the built ESS atomically next to the run snapshots.
+func saveSpaceFile(path string, sp *ess.Space) error {
+	var buf bytes.Buffer
+	if err := sp.Save(&buf); err != nil {
+		return err
+	}
+	return runstate.WriteFileAtomic(path, buf.Bytes())
+}
+
+// gridsEqual reports whether two grids have identical point sets. Both sides
+// derive from the same deterministic construction, so exact float comparison
+// is the correct check (any difference means different options).
+func gridsEqual(a, b ess.Grid) bool {
+	if a.D != b.D || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for d := range a.Points {
+		if len(a.Points[d]) != len(b.Points[d]) {
+			return false
+		}
+		for i := range a.Points[d] {
+			if a.Points[d][i] != b.Points[d][i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // newSession assembles a Session around a built space: the PlanBouquet
@@ -268,6 +351,13 @@ type RunResult struct {
 	// DegradedReason is the terminal failure that forced the fallback
 	// (empty when Degraded is false).
 	DegradedReason string
+	// RunID names the durable run the result belongs to (empty for plain,
+	// non-durable runs).
+	RunID string
+	// Resumed reports that the run was rehydrated from a crash checkpoint:
+	// TotalCost then includes the budget ledger carried over from the
+	// interrupted incarnation(s), so SubOpt accounts the whole run.
+	Resumed bool
 }
 
 // newModel builds the cost model for a bound query (shared by the session
@@ -310,6 +400,14 @@ func (s *Session) retryPolicy() engine.Policy {
 // ladder: algorithm → step retry with exponential backoff → Native-plan
 // fallback.
 func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, costErr engine.CostErrorFn) (RunResult, error) {
+	return s.runFull(ctx, a, truth, costErr, nil, nil)
+}
+
+// runFull is the full-generality run driver: runContext plus optional
+// durability. A non-nil tracker checkpoints the discovery state at contour
+// boundaries; a non-nil resume restores a checkpointed state (restart
+// contour, learnt selectivities, budget ledger) before the first execution.
+func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, costErr engine.CostErrorFn, tr *runstate.Tracker, resume *runstate.Discovery) (RunResult, error) {
 	if len(truth) != s.D() {
 		return RunResult{}, fmt.Errorf("repro: truth has %d dims, query has %d epps", len(truth), s.D())
 	}
@@ -340,6 +438,24 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 	rec := telemetry.NewRecorder()
 	ctx = telemetry.With(ctx, rec)
 
+	// Durable runs additionally carry a runstate tracker: the discovery
+	// layers checkpoint through it, and a resumed run opens its stream with
+	// the carried-over ledger (base) so the final accounting spans every
+	// process incarnation.
+	var base float64
+	if tr != nil {
+		ctx = runstate.With(ctx, tr)
+		res.RunID = tr.State().RunID
+		if resume != nil {
+			base = resume.Spent
+			res.Resumed = true
+			rec.Record(telemetry.Event{
+				Kind: telemetry.RunResume, Contour: resume.Contour + 1, Dim: -1,
+				Spent: base, Detail: res.RunID,
+			})
+		}
+	}
+
 	var runErr error
 	switch a {
 	case Native:
@@ -353,7 +469,17 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 			Location: s.EstimateLocation(), Spent: res.TotalCost, Completed: true,
 		})
 	case PlanBouquet:
-		out, rerr := bouquet.RunContext(ctx, s.diag, rex, s.opts.ContourRatio)
+		// PlanBouquet's monotone state is the contour index alone (no
+		// half-space pruning), so resume reduces to a later start contour.
+		startContour := 0
+		if resume != nil {
+			startContour = resume.Contour
+			if n := len(s.space.ContourCosts(s.opts.ContourRatio)); startContour > n-1 {
+				startContour = n - 1
+			}
+		}
+		out, rerr := bouquet.RunSubspaceContext(ctx, s.space, s.diag, rex,
+			s.space.ContourCosts(s.opts.ContourRatio), startContour, s.space.Full(), 1+s.opts.ReductionLambda)
 		runErr = rerr
 		res.TotalCost = out.TotalCost
 		for _, st := range out.Steps {
@@ -363,12 +489,12 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 			})
 		}
 	case SpillBound:
-		out, rerr := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
+		out, rerr := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio, Resume: resume}).RunContext(ctx, rex)
 		runErr = rerr
 		res.TotalCost = out.TotalCost
 		res.Steps = convertSteps(out.Executions)
 	case AlignedBound:
-		out, rerr := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}).RunContext(ctx, rex)
+		out, rerr := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio, Resume: resume}).RunContext(ctx, rex)
 		runErr = rerr
 		res.TotalCost = out.TotalCost
 		for _, x := range out.Executions {
@@ -377,7 +503,16 @@ func (s *Session) runContext(ctx context.Context, a Algorithm, truth Location, c
 	default:
 		return RunResult{}, fmt.Errorf("repro: unknown algorithm %v", a)
 	}
+	res.TotalCost += base
 	if runErr != nil {
+		if faults.IsCrash(runErr) {
+			// An injected checkpoint crash models the process dying: no
+			// retry, no degradation — recovery belongs to ResumeRun. The
+			// partial result (events, ledger so far) is returned with the
+			// error so chaos harnesses can account the lost work.
+			res.SubOpt = res.TotalCost / opt
+			return finishRun(rec, res, false), fmt.Errorf("repro: run crashed: %w", runErr)
+		}
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return RunResult{}, fmt.Errorf("repro: run aborted: %w", runErr)
 		}
