@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke clean
+.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke overload-smoke fuzz clean
 
 all: vet build test
 
@@ -47,6 +47,21 @@ experiments:
 # run/build/request families).
 metrics-smoke:
 	$(GO) run ./cmd/metricssmoke
+
+# overload-smoke boots rqpd with deliberately low admission limits, fires a
+# burst of concurrent sweeps past them, and asserts the overload contract:
+# some requests complete, the excess is shed with 429 + Retry-After, the
+# rqp_inflight/rqp_shed_total/rqp_breaker_state families are exposed, and
+# the goroutine count settles back to baseline (no leaked handlers).
+overload-smoke:
+	$(GO) run ./cmd/overloadsmoke
+
+# fuzz runs the fuzz targets briefly: the runstate snapshot decoder (the
+# bytes crash recovery trusts least) and the Prometheus exposition parser.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzDecodeRunState -fuzztime=$(FUZZTIME) ./internal/runstate/
+	$(GO) test -fuzz=FuzzParseProm -fuzztime=$(FUZZTIME) ./internal/telemetry/
 
 clean:
 	$(GO) clean ./...

@@ -20,8 +20,11 @@
 // The daemon carries the operational guard rails of internal/server: panic
 // recovery, per-request timeouts (requests pass their deadline down into
 // the discovery algorithms, which abort mid-contour), a session TTL with
-// background eviction, slowloris-resistant socket timeouts, and graceful
-// shutdown on SIGINT/SIGTERM (in-flight session builds are canceled).
+// background eviction, slowloris-resistant socket timeouts, adaptive
+// overload control (-max-runs/-max-builds AIMD limiters, -session-max-runs
+// bulkheads, a -breaker-threshold build circuit breaker; excess work is shed
+// with 429/503 + Retry-After), and graceful shutdown on SIGINT/SIGTERM
+// (in-flight session builds are canceled).
 package main
 
 import (
@@ -47,14 +50,24 @@ func main() {
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown budget")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU, heap, goroutine profiles)")
 	dataDir := flag.String("data", "", "durable data directory: persists sessions (ESS) and checkpointed runs; on restart, sessions are rehydrated without rebuilding and interrupted runs resume from their last checkpoint")
+	maxRuns := flag.Int("max-runs", 64, "adaptive concurrent run/sweep ceiling; excess requests are shed with 429 (0 disables)")
+	maxBuilds := flag.Int("max-builds", 4, "adaptive concurrent session-build ceiling (0 disables)")
+	sessionMaxRuns := flag.Int("session-max-runs", 32, "per-session concurrent run bulkhead (0 disables)")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive session-build failures that open the build circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long the open build breaker rejects before a half-open probe")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
-		RequestTimeout: *reqTimeout,
-		SessionTTL:     *sessionTTL,
-		MaxSessions:    *maxSessions,
-		BuildWorkers:   *buildWorkers,
-		DataDir:        *dataDir,
+		RequestTimeout:      *reqTimeout,
+		SessionTTL:          *sessionTTL,
+		MaxSessions:         *maxSessions,
+		BuildWorkers:        *buildWorkers,
+		DataDir:             *dataDir,
+		MaxConcurrentRuns:   *maxRuns,
+		MaxConcurrentBuilds: *maxBuilds,
+		SessionMaxRuns:      *sessionMaxRuns,
+		BreakerThreshold:    *breakerThreshold,
+		BreakerCooldown:     *breakerCooldown,
 	})
 	api.StartEviction()
 	defer api.Close()

@@ -442,12 +442,15 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 				p = s.Plans()[pe.planID]
 			}
 			res, okSpill, err := ce.ExecuteSpillCtx(ctx, p, pe.leader, pe.budget)
-			if err != nil {
+			if err != nil && !engine.IsBudgetAbort(err) {
 				return out, err
 			}
 			if !okSpill {
 				continue
 			}
+			// A watchdog budget abort is an incomplete spill (the clamped
+			// charge is recorded below); discovery moves on as after a
+			// regular budget expiry.
 			out.Executions = append(out.Executions, Execution{
 				Execution: spillbound.Execution{
 					Contour: i, Dim: pe.leader, PlanID: pe.planID,

@@ -90,9 +90,13 @@ func RunSubspaceContext(ctx context.Context, s *ess.Space, a Assignment, e engin
 		for _, id := range distinctPlans(a, cells) {
 			budget := costs[i] * inflate
 			res, err := ce.ExecuteCtx(ctx, s.Plans()[id], budget)
-			if err != nil {
+			if err != nil && !engine.IsBudgetAbort(err) {
 				return out, err
 			}
+			// A watchdog budget abort is a failed step, not a failed run: the
+			// clamped charge stands in the ledger and discovery moves to the
+			// next plan, then the next contour — the shape the MSO analysis
+			// already accounts for.
 			rec.Record(telemetry.Event{
 				Kind: telemetry.PlanExec, Contour: i + 1, Dim: -1, PlanID: id,
 				Budget: budget, Spent: res.Spent, Completed: res.Completed,

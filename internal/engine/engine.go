@@ -125,7 +125,9 @@ type Result struct {
 	Completed bool
 	// Spent is the cost charged: the plan's full cost when completed, the
 	// entire budget otherwise (partial results are discarded, per the
-	// PlanBouquet protocol).
+	// PlanBouquet protocol). Under an injected budget-overrun fault the
+	// incomplete charge exceeds the budget by the overrun factor, and under
+	// a watchdog ceiling it is clamped at the ceiling (see classify.go).
 	Spent float64
 }
 
@@ -153,10 +155,25 @@ func (e *Engine) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) (
 	if err := fp.OnCostEval(); err != nil {
 		return Result{}, err
 	}
-	c := e.execCost(p) * fp.OverrunFactor()
-	res := Result{Completed: c <= budget, Spent: budget}
-	if res.Completed {
-		res.Spent = c
+	factor := fp.OverrunFactor()
+	c := e.execCost(p) * factor
+	res := Result{Completed: c <= budget, Spent: c}
+	if !res.Completed {
+		// Forced termination at budget expiry. A well-behaved operator is
+		// charged exactly the budget; a misbehaving one (injected overrun
+		// factor > 1) spends past its assigned budget before the termination
+		// lands, and the ledger records the real, inflated charge — this is
+		// what the budget watchdog detects and hard-stops.
+		res.Spent = math.Min(c, budget*factor)
+	}
+	if ceil, guarded := CostCeiling(ctx); guarded && res.Spent > ceil {
+		// Cooperative cancellation at the watchdog's ceiling: the charge is
+		// clamped there, the partial result discarded, and the abort
+		// surfaces as a terminal (never-retried) error.
+		res = Result{Completed: false, Spent: ceil}
+		recordSpend(ctx, "exec", -1, budget, res.Spent, false, 0)
+		return res, fmt.Errorf("engine: charge would exceed cost ceiling %.4g (budget %.4g): %w",
+			ceil, budget, ErrBudgetAborted)
 	}
 	recordSpend(ctx, "exec", -1, budget, res.Spent, res.Completed, 0)
 	return res, nil
@@ -193,6 +210,18 @@ func (e *Engine) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, bud
 	}
 	res, ok := e.executeSpill(p, dim, budget, fp.OverrunFactor())
 	if ok {
+		res.Learned = fp.OnLearned(res.Learned)
+		if ceil, guarded := CostCeiling(ctx); guarded && res.Spent > ceil {
+			// Cooperative cancellation mid-spill: the monitoring lower bound
+			// gathered so far is still valid (Lemma 3.1 is monotone in the
+			// budget), but the charge is clamped at the ceiling and the
+			// abort surfaces as a terminal error.
+			res.Completed = false
+			res.Spent = ceil
+			recordSpend(ctx, "spill", dim, budget, res.Spent, false, res.Learned)
+			return res, true, fmt.Errorf("engine: spill charge would exceed cost ceiling %.4g (budget %.4g): %w",
+				ceil, budget, ErrBudgetAborted)
+		}
 		recordSpend(ctx, "spill", dim, budget, res.Spent, res.Completed, res.Learned)
 	}
 	return res, ok, nil
@@ -234,9 +263,12 @@ func (e *Engine) executeSpill(p *plan.Plan, dim int, budget float64, overrun flo
 	if full <= budget {
 		return SpillResult{Completed: true, Spent: full, Learned: e.Truth[dim]}, true
 	}
+	// Budget expiry: a well-behaved subtree charges exactly the budget; an
+	// overrunning one (overrun > 1) spends past it before the forced
+	// termination lands, making the injected fault ledger-visible.
 	return SpillResult{
 		Completed: false,
-		Spent:     budget,
+		Spent:     math.Min(full, budget*overrun),
 		Learned:   e.monitorBound(sub, dim, budget/factor),
 	}, true
 }

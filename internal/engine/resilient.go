@@ -9,7 +9,6 @@ package engine
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -116,7 +115,9 @@ func attempt(fn func() error) (err error) {
 
 // retry drives fn through the policy's backoff schedule. fn is re-invoked
 // until it succeeds, the retry budget is exhausted (→ *StepError), or the
-// context is done (→ ctx error, never retried).
+// failure is terminal (Classify): cancellation, a watchdog budget abort, or
+// an injected checkpoint crash propagate immediately — re-attempting cannot
+// change the outcome and would double-charge the budget ledger.
 func (r *Resilient) retry(ctx context.Context, kind string, fn func() error) error {
 	var last error
 	for n := 0; ; n++ {
@@ -124,7 +125,7 @@ func (r *Resilient) retry(ctx context.Context, kind string, fn func() error) err
 		if last == nil {
 			return nil
 		}
-		if errors.Is(last, context.Canceled) || errors.Is(last, context.DeadlineExceeded) {
+		if Classify(last) == TerminalClass {
 			return last
 		}
 		if n >= r.Policy.MaxRetries {

@@ -59,6 +59,16 @@ type Plan struct {
 	// the engine spends past its assigned budget, as a misbehaving operator
 	// would. Values <= 1 disable.
 	BudgetOverrun float64
+	// SkewLearnedAt corrupts the Nth learned-selectivity observation
+	// (1-based over spill-mode learns) by multiplying it with
+	// SkewLearnedFactor — simulating run-time monitoring gone wrong (a
+	// miscounted join output). A factor large enough to push the value past
+	// 1 drives the discovery outside the ESS, exercising the guard's
+	// ESS-escape fallback. 0 disables.
+	SkewLearnedAt int
+	// SkewLearnedFactor is the multiplier applied at SkewLearnedAt
+	// (values <= 0 are treated as 1).
+	SkewLearnedFactor float64
 	// CrashAtCheckpoint aborts the run loop with ErrCrashed at the Nth
 	// checkpoint boundary (1-based) — a process-internal "kill" that fires
 	// *before* the snapshot is persisted, so the last durable state is the
@@ -70,6 +80,7 @@ type Plan struct {
 	execs       int
 	costEvals   int
 	checkpoints int
+	learns      int
 	injected    int
 }
 
@@ -186,6 +197,31 @@ func (p *Plan) Checkpoints() int {
 	return p.checkpoints
 }
 
+// OnLearned is called by the metering substrates after each spill-mode
+// learned-selectivity observation; it returns the (possibly skew-corrupted)
+// value the monitoring layer reports. Nil-safe.
+func (p *Plan) OnLearned(learned float64) float64 {
+	if p == nil {
+		return learned
+	}
+	p.mu.Lock()
+	p.learns++
+	n := p.learns
+	at, factor := p.SkewLearnedAt, p.SkewLearnedFactor
+	inject := at > 0 && n == at
+	if inject {
+		p.injected++
+	}
+	p.mu.Unlock()
+	if !inject {
+		return learned
+	}
+	if factor <= 0 {
+		factor = 1
+	}
+	return learned * factor
+}
+
 // OverrunFactor returns the charged-cost multiplier (1 when disabled).
 // Nil-safe.
 func (p *Plan) OverrunFactor() float64 {
@@ -234,13 +270,14 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 // Scenario returns a deterministic seeded fault plan for chaos suites: the
-// seed picks a fault class (clean error, transient error burst, panic, or
-// cost-eval error) and its trigger point. Identical seeds yield identical
-// plans, so failures found by `make chaos` replay exactly.
+// seed picks a fault class (clean error, transient error burst, panic,
+// cost-eval error, budget overrun, or monitoring skew) and its trigger
+// point. Identical seeds yield identical plans, so failures found by
+// `make chaos` replay exactly.
 func Scenario(seed int64) *Plan {
 	rng := rand.New(rand.NewSource(seed))
 	p := &Plan{}
-	switch rng.Intn(4) {
+	switch rng.Intn(6) {
 	case 0: // single clean failure early in discovery
 		p.FailExecAt = 1 + rng.Intn(3)
 	case 1: // transient burst: fails, then recovers under retry
@@ -250,6 +287,12 @@ func Scenario(seed int64) *Plan {
 		p.PanicExecAt = 1 + rng.Intn(4)
 	case 3: // cost-model evaluation failure
 		p.FailCostEvalAt = 1 + rng.Intn(4)
+	case 4: // budget overrun: the watchdog must abort and keep discovering
+		p.BudgetOverrun = 1.5 + rng.Float64()*2
+	case 5: // monitoring skew past the ESS boundary: guard escape fallback
+		p.SkewLearnedAt = 1 + rng.Intn(3)
+		// Large enough to push any positive observation past 1.
+		p.SkewLearnedFactor = 1e9
 	}
 	return p
 }

@@ -118,7 +118,8 @@ func TestScenarioDeterminism(t *testing.T) {
 		if *aConf(a) != *aConf(b) {
 			t.Fatalf("seed %d: scenarios differ", seed)
 		}
-		if c := aConf(a); c.FailExecAt == 0 && c.PanicExecAt == 0 && c.FailCostEvalAt == 0 {
+		if c := aConf(a); c.FailExecAt == 0 && c.PanicExecAt == 0 && c.FailCostEvalAt == 0 &&
+			c.BudgetOverrun == 0 && c.SkewLearnedAt == 0 {
 			t.Fatalf("seed %d: scenario injects nothing", seed)
 		}
 	}
@@ -130,10 +131,15 @@ func aConf(p *Plan) *struct {
 	FailExecAt, FailExecCount, PanicExecAt, FailCostEvalAt int
 	Latency                                                time.Duration
 	BudgetOverrun                                          float64
+	SkewLearnedAt                                          int
+	SkewLearnedFactor                                      float64
 } {
 	return &struct {
 		FailExecAt, FailExecCount, PanicExecAt, FailCostEvalAt int
 		Latency                                                time.Duration
 		BudgetOverrun                                          float64
-	}{p.FailExecAt, p.FailExecCount, p.PanicExecAt, p.FailCostEvalAt, p.Latency, p.BudgetOverrun}
+		SkewLearnedAt                                          int
+		SkewLearnedFactor                                      float64
+	}{p.FailExecAt, p.FailExecCount, p.PanicExecAt, p.FailCostEvalAt, p.Latency, p.BudgetOverrun,
+		p.SkewLearnedAt, p.SkewLearnedFactor}
 }

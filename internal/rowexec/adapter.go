@@ -39,6 +39,12 @@ func (a *Adapter) ExecuteCtx(ctx context.Context, p *plan.Plan, budget float64) 
 		if ctx.Err() != nil {
 			return engine.Result{}, err
 		}
+		if engine.IsBudgetAbort(err) {
+			// Watchdog ceiling hit mid-execution: the clamped charge stands
+			// in the ledger and the terminal abort propagates.
+			a.recordSpend(ctx, -1, budget, res.Spent, false, 0)
+			return engine.Result{Completed: false, Spent: res.Spent}, err
+		}
 		// Non-budget, non-cancellation errors surface as incomplete
 		// executions charged their budget; the discovery loops treat them
 		// like expiries.
@@ -81,6 +87,16 @@ func (a *Adapter) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, bu
 		if ctx.Err() != nil {
 			return engine.SpillResult{}, false, err
 		}
+		if engine.IsBudgetAbort(err) {
+			// Watchdog abort mid-spill: keep the partial monitoring bound —
+			// it is still a valid lower bound — and propagate the terminal
+			// error with the clamped charge.
+			out := engine.SpillResult{Completed: false, Spent: res.Spent,
+				Learned: partialLearned(res, p, joinID)}
+			out.Learned = faults.From(ctx).OnLearned(out.Learned)
+			a.recordSpend(ctx, dim, budget, out.Spent, false, out.Learned)
+			return out, true, err
+		}
 		return engine.SpillResult{}, false, nil
 	}
 	out := engine.SpillResult{
@@ -90,21 +106,29 @@ func (a *Adapter) ExecuteSpillCtx(ctx context.Context, p *plan.Plan, dim int, bu
 	if res.Completed {
 		out.Learned = ObservedSelectivity(st)
 	} else {
-		// Partial monitoring: the counts accumulated before the budget
-		// expired. Inputs may be partially consumed, so treat the
-		// observation as a lower bound with full input cardinalities.
-		node := subRootStats(res, p, joinID)
-		if node != nil {
-			full := &NodeStats{
-				OutRows:   node.OutRows,
-				LeftRows:  maxInt64(node.LeftRows, 1),
-				RightRows: maxInt64(node.RightRows, 1),
-			}
-			out.Learned = ObservedSelectivity(full)
-		}
+		out.Learned = partialLearned(res, p, joinID)
 	}
+	// Run-time monitoring is the layer an injected skew corrupts, so the
+	// fault applies to the observed value regardless of completion.
+	out.Learned = faults.From(ctx).OnLearned(out.Learned)
 	a.recordSpend(ctx, dim, budget, out.Spent, out.Completed, out.Learned)
 	return out, true, nil
+}
+
+// partialLearned derives the monitoring lower bound from the counts
+// accumulated before the budget expired. Inputs may be partially consumed,
+// so the observation is taken against full input cardinalities.
+func partialLearned(res Result, p *plan.Plan, joinID int) float64 {
+	node := subRootStats(res, p, joinID)
+	if node == nil {
+		return 0
+	}
+	full := &NodeStats{
+		OutRows:   node.OutRows,
+		LeftRows:  maxInt64(node.LeftRows, 1),
+		RightRows: maxInt64(node.RightRows, 1),
+	}
+	return ObservedSelectivity(full)
 }
 
 func subRootStats(res Result, p *plan.Plan, joinID int) *NodeStats {

@@ -64,6 +64,20 @@ func (st *Store) SaveRun(rs *RunState) error {
 	return WriteFileAtomic(st.runPath(rs.RunID), data)
 }
 
+// Decode parses and validates a serialized run snapshot — the pure half of
+// LoadRun, factored out so untrusted bytes (torn files, version skew, fuzz
+// inputs) exercise exactly the code recovery runs.
+func Decode(data []byte) (*RunState, error) {
+	var rs RunState
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("runstate: decode run: %w", err)
+	}
+	if rs.SchemaVersion != Version {
+		return nil, fmt.Errorf("runstate: decode run: unsupported version %d", rs.SchemaVersion)
+	}
+	return &rs, nil
+}
+
 // LoadRun reads and validates a run snapshot.
 func (st *Store) LoadRun(runID string) (*RunState, error) {
 	if err := validRunID(runID); err != nil {
@@ -73,17 +87,14 @@ func (st *Store) LoadRun(runID string) (*RunState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("runstate: load run %s: %w", runID, err)
 	}
-	var rs RunState
-	if err := json.Unmarshal(data, &rs); err != nil {
+	rs, err := Decode(data)
+	if err != nil {
 		return nil, fmt.Errorf("runstate: load run %s: %w", runID, err)
-	}
-	if rs.SchemaVersion != Version {
-		return nil, fmt.Errorf("runstate: load run %s: unsupported version %d", runID, rs.SchemaVersion)
 	}
 	if rs.RunID == "" {
 		rs.RunID = runID
 	}
-	return &rs, nil
+	return rs, nil
 }
 
 // DeleteRun removes a run snapshot (missing files are not an error).

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/guard"
 	"repro/internal/runstate"
 	"repro/internal/workload"
 )
@@ -124,10 +125,14 @@ func (s *Server) recoverSession(meta sessionMeta) error {
 	opts.DataDir = dir
 
 	ctx, cancel := context.WithCancel(context.Background())
+	// Recovery bypasses the build limiter and breaker: these sessions were
+	// admitted before the crash, and refusing their rehydration would turn a
+	// restart into data loss. The bulkhead still applies to new runs.
 	e := &session{
 		id: meta.ID, query: sp.Name, d: sp.D, dataDir: dir,
 		status: statusBuilding, lastUsed: time.Now(), cancel: cancel,
-		runs: map[string]*runRecord{},
+		bulkhead: guard.NewBulkhead(s.cfg.SessionMaxRuns),
+		runs:     map[string]*runRecord{},
 	}
 	s.mu.Lock()
 	if _, exists := s.sessions[e.id]; exists {

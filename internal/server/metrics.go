@@ -48,6 +48,9 @@ type serverMetrics struct {
 
 	checkpoints *telemetry.Counter
 	resumes     *telemetry.Counter
+
+	inflightClass *telemetry.GaugeVec   // class (run, build)
+	shed          *telemetry.CounterVec // class, reason
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -87,12 +90,30 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Durable run-state snapshots persisted at contour boundaries."),
 		resumes: reg.Counter("rqp_resumes_total",
 			"Durable runs resumed from a crash checkpoint after recovery."),
+		inflightClass: reg.GaugeVec("rqp_inflight",
+			"In-flight guarded work admitted by the overload limiters, by class (run, build).",
+			"class"),
+		shed: reg.CounterVec("rqp_shed_total",
+			"Requests shed by overload control, by class (run, build) and reason (limiter, bulkhead, breaker).",
+			"class", "reason"),
 	}
 	reg.GaugeFunc("rqp_sessions", "Live sessions in the registry.",
 		func() float64 { return float64(s.SessionCount()) })
 	reg.GaugeFunc("rqp_sessions_building", "Sessions whose ESS build is still in flight.",
 		func() float64 { return float64(s.buildingCount()) })
+	reg.GaugeFunc("rqp_breaker_state",
+		"Session-build circuit breaker state: 0 closed, 1 open, 2 half-open.",
+		func() float64 { return float64(s.breaker.State()) })
+	// Pre-touch both classes so the families render on the first scrape even
+	// before any guarded work arrives.
+	m.inflightClass.With("run").Set(0)
+	m.inflightClass.With("build").Set(0)
 	return m
+}
+
+// setInflight mirrors a limiter's in-flight count into the class gauge.
+func (m *serverMetrics) setInflight(class string, n int) {
+	m.inflightClass.With(class).Set(float64(n))
 }
 
 // observeRun records one run outcome: the outcome-labeled counter, the

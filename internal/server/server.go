@@ -33,8 +33,10 @@
 //	{"error":{"code":"not_found","message":"no session \"s9\""}}
 //
 // with stable machine-readable codes: bad_request, not_found,
-// session_building, session_failed, too_many_sessions, timeout, canceled,
-// internal.
+// session_building, session_failed, too_many_sessions, overloaded, timeout,
+// canceled, internal. Adaptive overload control (AIMD run/build limiters,
+// per-session bulkheads, a session-build circuit breaker) sheds excess work
+// with 429/503 "overloaded" responses instead of queueing it.
 //
 // Deprecated: the unversioned paths (/sessions, /queries, /healthz) remain
 // mounted as aliases of their /v1 counterparts for one release and will be
@@ -44,6 +46,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"path/filepath"
@@ -54,6 +57,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/guard"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -86,15 +90,44 @@ type Config struct {
 	// directory (Recover) rehydrates ready sessions without rebuilding the
 	// ESS and resumes interrupted durable runs from their last checkpoint.
 	DataDir string
+	// MaxConcurrentRuns bounds concurrently executing run/sweep requests
+	// with an AIMD limiter: this is the ceiling, successful completions grow
+	// the working limit additively and failures halve it, so sustained
+	// overload converges on what the process actually keeps up with. Excess
+	// requests are shed with 429 + Retry-After. 0 disables.
+	MaxConcurrentRuns int
+	// MaxConcurrentBuilds bounds concurrently accepted session builds the
+	// same way (recovery rebuilds are exempt — they were admitted before the
+	// crash). 0 disables.
+	MaxConcurrentBuilds int
+	// SessionMaxRuns caps concurrent run/sweep requests per session (a
+	// bulkhead), so a burst against one session cannot monopolize the shared
+	// run limiter. 0 disables.
+	SessionMaxRuns int
+	// BreakerThreshold is how many consecutive session-build failures open
+	// the build circuit breaker: creation is then rejected immediately with
+	// 503 until BreakerCooldown passes and a probe build succeeds.
+	// 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the open circuit rejects before admitting
+	// a half-open probe.
+	BreakerCooldown time.Duration
 }
 
 // DefaultConfig returns the production guard rails: 30s request budget,
-// 30min idle session TTL, at most 256 live sessions, builds on every core.
+// 30min idle session TTL, at most 256 live sessions, builds on every core,
+// adaptive run/build concurrency limits with per-session bulkheads, and a
+// build circuit breaker.
 func DefaultConfig() Config {
 	return Config{
-		RequestTimeout: 30 * time.Second,
-		SessionTTL:     30 * time.Minute,
-		MaxSessions:    256,
+		RequestTimeout:      30 * time.Second,
+		SessionTTL:          30 * time.Minute,
+		MaxSessions:         256,
+		MaxConcurrentRuns:   64,
+		MaxConcurrentBuilds: 4,
+		SessionMaxRuns:      32,
+		BreakerThreshold:    3,
+		BreakerCooldown:     30 * time.Second,
 	}
 }
 
@@ -112,8 +145,15 @@ var buildSession = repro.NewBenchmarkSessionContext
 
 // Server is the HTTP handler set with its session registry.
 type Server struct {
-	cfg      Config
-	metrics  *serverMetrics
+	cfg     Config
+	metrics *serverMetrics
+
+	// Overload control (guard package); all nil-safe, so a zero Config
+	// leaves every admission path unconditional.
+	runLimiter   *guard.AIMD    // run/sweep requests, adaptive
+	buildLimiter *guard.AIMD    // accepted session builds, adaptive
+	breaker      *guard.Breaker // session-build circuit breaker
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	nextID   int
@@ -127,6 +167,10 @@ type session struct {
 	query   string
 	d       int
 	dataDir string // per-session durable directory ("" = not durable)
+
+	// bulkhead caps this session's concurrent run/sweep requests
+	// (nil = uncapped).
+	bulkhead *guard.Bulkhead
 
 	// Guarded by Server.mu.
 	status   string
@@ -167,6 +211,15 @@ func New() *Server {
 // NewWithConfig returns an empty server with the given guard configuration.
 func NewWithConfig(cfg Config) *Server {
 	s := &Server{cfg: cfg, sessions: make(map[string]*session)}
+	if cfg.MaxConcurrentRuns > 0 {
+		s.runLimiter = guard.NewAIMD(cfg.MaxConcurrentRuns, 1, cfg.MaxConcurrentRuns)
+	}
+	if cfg.MaxConcurrentBuilds > 0 {
+		s.buildLimiter = guard.NewAIMD(cfg.MaxConcurrentBuilds, 1, cfg.MaxConcurrentBuilds)
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = guard.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
 	s.metrics = newServerMetrics(s)
 	return s
 }
@@ -400,9 +453,26 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Overload control for the expensive build path: the adaptive build
+	// limiter first (a shed there must not consume a breaker probe), then
+	// the circuit breaker around the build dependency.
+	if !s.buildLimiter.TryAcquire() {
+		s.shed(w, "build", "limiter", fmt.Errorf("concurrent session-build limit reached; retry shortly"))
+		return
+	}
+	if !s.breaker.Allow() {
+		s.buildLimiter.Cancel()
+		w.Header().Set("Retry-After", strconv.Itoa(cooldownSeconds(s.cfg.BreakerCooldown)))
+		s.metrics.shed.With("build", "breaker").Inc()
+		writeError(w, http.StatusServiceUnavailable, codeOverloaded,
+			fmt.Errorf("session builds are failing; circuit open, retry after cooldown"))
+		return
+	}
+	s.metrics.setInflight("build", s.buildLimiter.Inflight())
 
 	ctx, cancel := context.WithCancel(context.Background())
-	e := &session{query: sp.Name, d: sp.D, status: statusBuilding, lastUsed: time.Now(), cancel: cancel, runs: map[string]*runRecord{}}
+	e := &session{query: sp.Name, d: sp.D, status: statusBuilding, lastUsed: time.Now(), cancel: cancel,
+		bulkhead: guard.NewBulkhead(s.cfg.SessionMaxRuns), runs: map[string]*runRecord{}}
 	total := 1
 	for i := 0; i < sp.D; i++ {
 		total *= res
@@ -433,6 +503,9 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			delete(s.sessions, e.id)
 			s.mu.Unlock()
 			cancel()
+			s.buildLimiter.Cancel()
+			s.metrics.setInflight("build", s.buildLimiter.Inflight())
+			s.breaker.Record(false)
 			writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("persist session metadata: %v", err))
 			return
 		}
@@ -445,6 +518,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sess, err := buildSession(ctx, sp, opts)
 		s.metrics.buildDuration.Observe(time.Since(start).Seconds())
+		s.buildLimiter.Release(err == nil)
+		s.metrics.setInflight("build", s.buildLimiter.Inflight())
+		if err == nil || !errors.Is(err, context.Canceled) {
+			// A build aborted by server shutdown says nothing about the
+			// dependency's health; everything else feeds the breaker.
+			s.breaker.Record(err == nil)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		e.lastUsed = time.Now()
@@ -460,6 +540,49 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	writeJSON(w, http.StatusAccepted, s.info(e))
+}
+
+// cooldownSeconds converts the breaker cooldown into a Retry-After value:
+// whole seconds, floor 1 so clients always back off at least briefly.
+func cooldownSeconds(d time.Duration) int {
+	sec := int(d / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// shed rejects a request refused by overload control: counts it into
+// rqp_shed_total and answers 429 with the envelope's overloaded code
+// (writeError supplies the Retry-After header).
+func (s *Server) shed(w http.ResponseWriter, class, reason string, err error) {
+	s.metrics.shed.With(class, reason).Inc()
+	writeError(w, http.StatusTooManyRequests, codeOverloaded, err)
+}
+
+// admitRun passes a run/sweep request through the shared adaptive limiter and
+// the session's bulkhead. On admission the returned release must be called
+// exactly once with the request's outcome — overload-shaped failures (5xx)
+// shrink the adaptive limit, client errors and successes grow it. On refusal
+// the 429 is already written and release is nil.
+func (s *Server) admitRun(w http.ResponseWriter, e *session) (release func(ok bool), admitted bool) {
+	if !s.runLimiter.TryAcquire() {
+		s.shed(w, "run", "limiter", fmt.Errorf("concurrent run limit reached; retry shortly"))
+		return nil, false
+	}
+	if !e.bulkhead.TryAcquire() {
+		// Roll the limiter slot back without outcome feedback: the refusal is
+		// the session's, not a signal about global capacity.
+		s.runLimiter.Cancel()
+		s.shed(w, "run", "bulkhead", fmt.Errorf("session %s concurrent-run limit reached; retry shortly", e.id))
+		return nil, false
+	}
+	s.metrics.setInflight("run", s.runLimiter.Inflight())
+	return func(ok bool) {
+		e.bulkhead.Release()
+		s.runLimiter.Release(ok)
+		s.metrics.setInflight("run", s.runLimiter.Inflight())
+	}, true
 }
 
 // info snapshots a session resource for the wire. It takes the registry
@@ -591,20 +714,27 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
-	var res repro.RunResult
+	runID := ""
 	if req.Durable {
 		if e.dataDir == "" {
 			writeError(w, http.StatusBadRequest, codeBadRequest,
 				fmt.Errorf("durable runs need a server data directory (rqpd -data)"))
 			return
 		}
-		runID := req.RunID
+		runID = req.RunID
 		if runID == "" {
 			s.mu.Lock()
 			e.runSeq++
 			runID = fmt.Sprintf("r%d", e.runSeq)
 			s.mu.Unlock()
 		}
+	}
+	release, admitted := s.admitRun(w, e)
+	if !admitted {
+		return
+	}
+	var res repro.RunResult
+	if req.Durable {
 		res, err = sess.RunDurable(r.Context(), algo, repro.Location(req.Truth), runID)
 	} else {
 		res, err = sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
@@ -612,9 +742,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.metrics.runs.With(algo.String(), "error").Inc()
 		status, code := runErrorStatus(err)
+		// Only overload-shaped outcomes (timeouts, cancellations → 5xx) shrink
+		// the adaptive limit; a validation 400 says nothing about capacity.
+		release(status < http.StatusInternalServerError)
 		writeError(w, status, code, err)
 		return
 	}
+	release(true)
 	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
 	resp := s.buildRunResponse(sess, algo, res)
 	if req.Durable {
@@ -684,6 +818,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	release, admitted := s.admitRun(w, e)
+	if !admitted {
+		return
+	}
 	sum, err := sess.SweepContext(r.Context(), algo, max)
 	if err != nil {
 		s.metrics.runs.With(algo.String(), "error").Inc()
@@ -691,9 +829,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusBadRequest {
 			status, code = http.StatusInternalServerError, codeInternal
 		}
+		release(status < http.StatusInternalServerError)
 		writeError(w, status, code, err)
 		return
 	}
+	release(true)
 	// A sweep is Locations individual runs; its MSO and ASO are observed
 	// sub-optimalities (the worst and the average), so both feed the
 	// distribution the /v1/metrics histogram exposes.

@@ -236,12 +236,16 @@ func (r *Runner) RunContext(ctx context.Context, e engine.Executor) (Outcome, er
 			}
 			p := s.PlanAt(cell)
 			res, ok, err := ce.ExecuteSpillCtx(ctx, p, dim, costs[i])
-			if err != nil {
+			if err != nil && !engine.IsBudgetAbort(err) {
 				return out, err
 			}
 			if !ok {
 				continue
 			}
+			// A watchdog budget abort is an incomplete spill, not a failed
+			// run: the clamped charge and the partial monitoring bound are
+			// recorded below and discovery moves on (next dim, then next
+			// contour per Lemma 4.3).
 			x := Execution{
 				Contour: i, Dim: dim, PlanID: s.PlanIDAt(cell),
 				CellLoc: g.Location(cell), Budget: costs[i],

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseProm feeds arbitrary text to the exposition parser — the consumer
+// half of the registry, which smoke tooling points at scraped /v1/metrics
+// bodies. It must never panic, and whatever it accepts must satisfy the
+// structural invariants the rest of the tooling relies on: named families
+// with a declared type, samples attached to their declaring family, and
+// histogram bucket labels present on bucket samples.
+func FuzzParseProm(f *testing.F) {
+	f.Add("# HELP rqp_x X.\n# TYPE rqp_x counter\nrqp_x 1\n")
+	f.Add("# TYPE rqp_y gauge\nrqp_y{a=\"b\",c=\"d\"} 2.5\n")
+	f.Add("# TYPE rqp_h histogram\n" +
+		"rqp_h_bucket{le=\"1\"} 1\nrqp_h_bucket{le=\"+Inf\"} 2\n" +
+		"rqp_h_sum 3\nrqp_h_count 2\n")
+	f.Add("# TYPE rqp_z untyped\nrqp_z NaN\nrqp_z +Inf 1700000000\n")
+	f.Add("# TYPE rqp_e counter\nrqp_e{v=\"a\\\\b\\\"c\\nd\"} 0\n")
+	f.Add("rqp_undeclared 1\n")
+	f.Add("# TYPE bad name\n")
+	f.Add("{} 1\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		fams, err := ParseProm(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		for name, fam := range fams {
+			if fam == nil {
+				t.Fatalf("nil family %q", name)
+			}
+			if fam.Name != name {
+				t.Fatalf("family keyed %q but named %q", name, fam.Name)
+			}
+			if fam.Type == "" {
+				t.Fatalf("accepted family %q without a TYPE", name)
+			}
+			for _, s := range fam.Samples {
+				if s.Name != fam.Name && !strings.HasPrefix(s.Name, fam.Name+"_") {
+					t.Fatalf("sample %q filed under family %q", s.Name, fam.Name)
+				}
+				if s.Labels == nil {
+					t.Fatalf("sample %q has nil label map", s.Name)
+				}
+				if fam.Type == "histogram" && strings.HasSuffix(s.Name, "_bucket") {
+					if _, ok := s.Labels["le"]; !ok {
+						t.Fatalf("accepted bucket sample %q without le label", s.Name)
+					}
+				}
+			}
+		}
+	})
+}

@@ -44,6 +44,12 @@ func renderExec(b *strings.Builder, ev Event) {
 			fmt.Fprintf(b, "native: plan at estimate %s, cost %.4g\n", formatLocation(ev.Location), ev.Spent)
 			return
 		}
+		if ev.Mode == "guard" {
+			// The ESS-escape safe path: the max-corner terminal plan run in
+			// native (unbudgeted) mode.
+			fmt.Fprintf(b, "guard: safe-path terminal plan P%d, cost %.4g\n", ev.PlanID, ev.Spent)
+			return
+		}
 		mark := "✗"
 		if ev.Completed {
 			mark = "✓"
@@ -61,6 +67,13 @@ func renderExec(b *strings.Builder, ev Event) {
 		// byte-identical.
 		fmt.Fprintf(b, "resumed: run %s from checkpoint at IC%d, ledger %.4g\n",
 			ev.Detail, ev.Contour, ev.Spent)
+	case BudgetAbort:
+		// Guard events appear only on watchdog-aborted (faulted) runs, so
+		// clean traces stay byte-identical.
+		fmt.Fprintf(b, "guard: budget abort at ceiling %.4g (budget %.4g)\n", ev.Spent, ev.Budget)
+	case ESSEscape:
+		fmt.Fprintf(b, "guard: ess escape on dim %d (learned %.3g), taking safe path\n",
+			ev.Dim, ev.Learned)
 	}
 }
 
@@ -88,6 +101,24 @@ func CountRetries(events []Event) int {
 		}
 	}
 	return n
+}
+
+// GuardVerdict derives the runtime-guard verdict from the stream — the
+// single source of truth for RunResult.GuardVerdict. An ESS escape (the
+// guard abandoned discovery for the safe path) dominates budget aborts
+// (discovery continued and completed under the enforced ledger); a clean
+// stream yields "".
+func GuardVerdict(events []Event) string {
+	verdict := ""
+	for _, ev := range events {
+		switch ev.Kind {
+		case ESSEscape:
+			return string(ESSEscape)
+		case BudgetAbort:
+			verdict = string(BudgetAbort)
+		}
+	}
+	return verdict
 }
 
 // Degradation reports whether the stream records a Native-plan fallback and

@@ -44,6 +44,15 @@ const (
 	// assigned vs cost charged, emitted by the cost-model simulator and the
 	// row engine adapter.
 	BudgetSpend Kind = "budget_spend"
+	// BudgetAbort records the budget watchdog hard-aborting an execution
+	// whose charged cost reached the guard ceiling (budget plus the explicit
+	// λ slack); discovery resumes at the next plan/contour and the clamped
+	// charge stands in the ledger.
+	BudgetAbort Kind = "budget_abort"
+	// ESSEscape records run-time monitoring driving a learned selectivity
+	// past the ESS boundary; the guard escalates to the safe path (the
+	// max-corner terminal plan in native mode) instead of indexing off-grid.
+	ESSEscape Kind = "ess_escape"
 	// Retry records the resilience layer retrying (or giving up on) a
 	// failed execution step.
 	Retry Kind = "retry"

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/guard"
 )
 
 // This file exposes the operational-robustness surface of the library: the
@@ -29,6 +30,30 @@ type RetryPolicy struct {
 	MaxBackoff time.Duration
 }
 
+// GuardPolicy configures the runtime guarantee guardrails: the budget
+// watchdog that hard-aborts any execution charging past its contour budget,
+// and the ESS-escape fallback that reroutes a run whose monitored
+// selectivity leaves the enumerated space. Options.Guard = nil enables both
+// with zero slack; set Disabled to restore the unguarded behaviour.
+type GuardPolicy struct {
+	// Disabled turns the watchdog and the ESS-escape check off.
+	Disabled bool
+	// BudgetSlack is the tolerated overshoot fraction above each assigned
+	// budget before the watchdog aborts (the enforcement ceiling is
+	// budget·(1+BudgetSlack)) — the λ-style allowance made explicit. It
+	// enters the effective worst-case bound multiplicatively: PlanBouquet's
+	// enforced MSO becomes 4·(1+λ)·(1+BudgetSlack)·ρ.
+	BudgetSlack float64
+}
+
+// guardPolicy resolves the session's guard configuration.
+func (s *Session) guardPolicy() guard.Policy {
+	if g := s.opts.Guard; g != nil {
+		return guard.Policy{Slack: g.BudgetSlack, Disabled: g.Disabled}
+	}
+	return guard.Policy{}
+}
+
 // FaultPlan describes operational faults to inject into a run — the chaos
 // half of the resilience harness. Counters are 1-based over the executions
 // the engine performs; the zero value injects nothing.
@@ -51,6 +76,15 @@ type FaultPlan struct {
 	// BudgetOverrun > 1 multiplies every execution's charged cost, like an
 	// operator spending past its assigned budget.
 	BudgetOverrun float64
+	// SkewLearnedAt corrupts the Nth spill-mode learned selectivity
+	// (1-based) by multiplying it with SkewLearnedFactor — run-time
+	// monitoring gone wrong. A factor pushing the value past 1 drives the
+	// discovery outside the ESS, triggering the guard's safe-path fallback
+	// (0 = never).
+	SkewLearnedAt int
+	// SkewLearnedFactor is the multiplier applied at SkewLearnedAt
+	// (values <= 0 are treated as 1).
+	SkewLearnedFactor float64
 	// CrashAtCheckpoint kills the run loop at the Nth contour-boundary
 	// checkpoint (1-based), *before* the snapshot lands — simulating the
 	// process dying there. Unlike the other faults it bypasses the
@@ -72,23 +106,27 @@ func (fp *FaultPlan) internal() *faults.Plan {
 		FailCostEvalAt:    fp.FailCostEvalAt,
 		Latency:           fp.Latency,
 		BudgetOverrun:     fp.BudgetOverrun,
+		SkewLearnedAt:     fp.SkewLearnedAt,
+		SkewLearnedFactor: fp.SkewLearnedFactor,
 		CrashAtCheckpoint: fp.CrashAtCheckpoint,
 	}
 }
 
 // FaultScenario returns a deterministic seeded fault plan: the seed selects
-// a fault class (clean error, transient burst, panic, cost-eval failure)
-// and its trigger point. Identical seeds produce identical plans, so chaos
-// findings replay exactly.
+// a fault class (clean error, transient burst, panic, cost-eval failure,
+// budget overrun, or monitoring skew) and its trigger point. Identical seeds
+// produce identical plans, so chaos findings replay exactly.
 func FaultScenario(seed int64) *FaultPlan {
 	p := faults.Scenario(seed)
 	return &FaultPlan{
-		FailExecAt:     p.FailExecAt,
-		FailExecCount:  p.FailExecCount,
-		PanicExecAt:    p.PanicExecAt,
-		FailCostEvalAt: p.FailCostEvalAt,
-		Latency:        p.Latency,
-		BudgetOverrun:  p.BudgetOverrun,
+		FailExecAt:        p.FailExecAt,
+		FailExecCount:     p.FailExecCount,
+		PanicExecAt:       p.PanicExecAt,
+		FailCostEvalAt:    p.FailCostEvalAt,
+		Latency:           p.Latency,
+		BudgetOverrun:     p.BudgetOverrun,
+		SkewLearnedAt:     p.SkewLearnedAt,
+		SkewLearnedFactor: p.SkewLearnedFactor,
 	}
 }
 

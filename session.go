@@ -15,6 +15,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ess"
 	"repro/internal/faults"
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/native"
 	"repro/internal/optimizer"
@@ -83,6 +84,10 @@ type Options struct {
 	// Retry configures the degradation ladder's step retry (see
 	// RetryPolicy); nil uses the default (2 retries, 1ms base backoff).
 	Retry *RetryPolicy
+	// Guard configures the runtime guarantee guardrails (budget watchdog and
+	// ESS-escape fallback, see GuardPolicy); nil enables them with zero
+	// budget slack.
+	Guard *GuardPolicy
 	// Workers bounds the parallelism of ESS construction and whole-space
 	// sweeps: 0 uses GOMAXPROCS, 1 forces serial execution. Results are
 	// identical regardless of the worker count.
@@ -351,6 +356,12 @@ type RunResult struct {
 	// DegradedReason is the terminal failure that forced the fallback
 	// (empty when Degraded is false).
 	DegradedReason string
+	// GuardVerdict reports runtime-guard interventions during the run:
+	// "budget_abort" when the watchdog hard-aborted at least one execution at
+	// its cost ceiling (discovery continued under the enforced ledger),
+	// "ess_escape" when monitoring left the ESS and the run completed via the
+	// safe path, "" for unguarded or clean runs.
+	GuardVerdict string
 	// RunID names the durable run the result belongs to (empty for plain,
 	// non-durable runs).
 	RunID string
@@ -429,7 +440,10 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 		return RunResult{}, fmt.Errorf("repro: %w", err)
 	}
 	e.CostError = costErr
-	rex := &engine.Resilient{Exec: e, Policy: s.retryPolicy()}
+	// The executor stack, innermost out: engine → budget watchdog (ledger
+	// enforcement + ESS validation) → retry. The watchdog sits inside the
+	// retry layer so its aborts — classified terminal — are never re-run.
+	rex := &engine.Resilient{Exec: guard.New(e, s.guardPolicy()), Policy: s.retryPolicy()}
 
 	// Every run records into a fresh context-carried recorder: the discovery
 	// layers (bouquet, spillbound, aligned, engine, rowexec) emit typed
@@ -516,6 +530,9 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return RunResult{}, fmt.Errorf("repro: run aborted: %w", runErr)
 		}
+		if guard.IsEscape(runErr) {
+			return s.safePath(rec, res, truth)
+		}
 		return s.degrade(rec, res, a, truth, runErr)
 	}
 	res.SubOpt = res.TotalCost / opt
@@ -534,7 +551,27 @@ func finishRun(rec *telemetry.Recorder, res RunResult, completed bool) RunResult
 	res.Trace = telemetry.RenderTrace(res.Events)
 	res.Retries = telemetry.CountRetries(res.Events)
 	res.Degraded, res.DegradedReason = telemetry.Degradation(res.Events)
+	res.GuardVerdict = telemetry.GuardVerdict(res.Events)
 	return res
+}
+
+// safePath completes an ESS-escape run: run-time monitoring produced a
+// selectivity the ESS cannot contain, so instead of indexing off-grid the
+// session executes the max-corner terminal plan — which, by the contour
+// construction (Lemma 3.2's terminus), completes at any location the space
+// covers — in native (unbudgeted) mode. The discovery spend so far is kept;
+// the MSO guarantee still holds in the cost ledger because the terminal
+// plan's cost bounds the final contour's budget.
+func (s *Session) safePath(rec *telemetry.Recorder, res RunResult, truth Location) (RunResult, error) {
+	ci := s.space.Full().MaxCorner()
+	spent := s.model.Eval(s.space.PlanAt(ci), truth)
+	res.TotalCost += spent
+	res.SubOpt = res.TotalCost / res.OptimalCost
+	rec.Record(telemetry.Event{
+		Kind: telemetry.PlanExec, Dim: -1, Mode: "guard",
+		PlanID: s.space.PlanIDAt(ci), Spent: spent, Completed: true,
+	})
+	return finishRun(rec, res, true), nil
 }
 
 // nativePlan optimizes at the statistics estimate — the traditional plan
