@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke overload-smoke fuzz clean
+.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke overload-smoke replay-smoke atlas fuzz clean
 
 all: vet build test
 
@@ -55,6 +55,21 @@ metrics-smoke:
 # the goroutine count settles back to baseline (no leaked handlers).
 overload-smoke:
 	$(GO) run ./cmd/overloadsmoke
+
+# replay-smoke boots rqpd with tight admission limits and replays a seeded
+# 30s open-loop mixed trace (clean runs, adversarial / regret-correlated
+# scenario runs, sweeps, builds) followed by a shed burst and a
+# circuit-breaker drill. Writes replay-report.json (per-class p50/p95/p99,
+# status counts, guardrail census) and -check asserts every guardrail class
+# fired — watchdog abort, ESS escape, shed, breaker — with no goroutine leak.
+replay-smoke:
+	$(GO) run ./cmd/replay -duration 30s -rate 20 -check -o replay-report.json
+
+# atlas renders the per-regime robustness atlas for the motivating example
+# query (suboptimality heat over the ESS with guardrail-intervention
+# overlays, three regimes x three strategies).
+atlas:
+	$(GO) run ./cmd/rqp atlas -query 2D_EQ -res 16 -max 64 -o atlas.svg
 
 # fuzz runs the fuzz targets briefly: the runstate snapshot decoder (the
 # bytes crash recovery trusts least) and the Prometheus exposition parser.

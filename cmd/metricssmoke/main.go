@@ -11,21 +11,16 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/http"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"strings"
-	"syscall"
 	"time"
 
-	"repro/internal/telemetry"
+	"repro/internal/smoke"
 )
 
 func main() {
@@ -45,48 +40,48 @@ func run() error {
 	defer os.RemoveAll(dir)
 
 	bin := filepath.Join(dir, "rqpd")
-	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rqpd").CombinedOutput(); err != nil {
-		return fmt.Errorf("build rqpd: %v\n%s", err, out)
+	if err := smoke.BuildDaemon(bin); err != nil {
+		return err
 	}
 
 	dataDir := filepath.Join(dir, "data")
-	addr, err := freeAddr()
+	addr, err := smoke.FreeAddr()
 	if err != nil {
 		return err
 	}
-	stop, err := startDaemon(bin, addr, dataDir)
+	stop, err := smoke.StartDaemon(bin, "-addr", addr, "-data", dataDir)
 	if err != nil {
 		return err
 	}
 	defer stop()
 
 	base := "http://" + addr
-	if err := await(base+"/v1/healthz", 10*time.Second); err != nil {
+	if err := smoke.Await(base+"/v1/healthz", 10*time.Second); err != nil {
 		return fmt.Errorf("daemon never became healthy: %w", err)
 	}
 
 	// One full workflow so the run/build/sweep metrics are non-zero. The run
 	// is durable so the checkpoint counter ticks and the restart drill below
 	// has a run resource to recover.
-	id, err := createSession(base, `{"query":"2D_EQ","gridRes":6}`)
+	id, err := smoke.CreateSession(base, `{"query":"2D_EQ","gridRes":6}`)
 	if err != nil {
 		return err
 	}
-	if err := awaitReady(base, id, 60*time.Second); err != nil {
+	if err := smoke.AwaitReady(base, id, 60*time.Second); err != nil {
 		return err
 	}
-	if err := post(base+"/v1/sessions/"+id+"/run",
+	if err := smoke.Post(base+"/v1/sessions/"+id+"/run",
 		`{"algorithm":"spillbound","truth":[0.04,0.1],"durable":true}`); err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
-	if err := get(base + "/v1/sessions/" + id + "/sweep?algorithm=spillbound&max=16"); err != nil {
+	if err := smoke.Get(base + "/v1/sessions/" + id + "/sweep?algorithm=spillbound&max=16"); err != nil {
 		return fmt.Errorf("sweep: %w", err)
 	}
 	// One hit on a deprecated unversioned alias.
-	if err := get(base + "/healthz"); err != nil {
+	if err := smoke.Get(base + "/healthz"); err != nil {
 		return err
 	}
-	if err := scrape(base); err != nil {
+	if err := checkFamilies(base); err != nil {
 		return err
 	}
 
@@ -94,20 +89,20 @@ func run() error {
 	// same data directory, and the recovered session must serve its durable
 	// run resource over /v1 without a client-visible rebuild.
 	stop()
-	addr2, err := freeAddr()
+	addr2, err := smoke.FreeAddr()
 	if err != nil {
 		return err
 	}
-	stop2, err := startDaemon(bin, addr2, dataDir)
+	stop2, err := smoke.StartDaemon(bin, "-addr", addr2, "-data", dataDir)
 	if err != nil {
 		return err
 	}
 	defer stop2()
 	base2 := "http://" + addr2
-	if err := await(base2+"/v1/healthz", 10*time.Second); err != nil {
+	if err := smoke.Await(base2+"/v1/healthz", 10*time.Second); err != nil {
 		return fmt.Errorf("restarted daemon never became healthy: %w", err)
 	}
-	if err := awaitReady(base2, id, 60*time.Second); err != nil {
+	if err := smoke.AwaitReady(base2, id, 60*time.Second); err != nil {
 		return fmt.Errorf("recovered session: %w", err)
 	}
 	if err := checkRunRecovered(base2, id, "r1"); err != nil {
@@ -115,33 +110,6 @@ func run() error {
 	}
 	log.Printf("restart drill: session %s and run r1 recovered from %s", id, dataDir)
 	return nil
-}
-
-// startDaemon boots rqpd and returns an idempotent stop function (SIGTERM
-// with a kill fallback).
-func startDaemon(bin, addr, dataDir string) (func(), error) {
-	cmd := exec.Command(bin, "-addr", addr, "-data", dataDir)
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
-		return nil, err
-	}
-	stopped := false
-	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			cmd.Process.Kill()
-			<-done
-		}
-	}, nil
 }
 
 // checkRunRecovered asserts the restarted daemon lists the durable run as
@@ -169,26 +137,12 @@ func checkRunRecovered(base, sid, rid string) error {
 	return nil
 }
 
-// scrape fetches /v1/metrics and validates the exposition.
-func scrape(base string) error {
-	resp, err := http.Get(base + "/v1/metrics")
+// checkFamilies scrapes /v1/metrics and asserts the key families are present
+// and non-zero after a run + sweep.
+func checkFamilies(base string) error {
+	fams, err := smoke.Scrape(base)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("metrics status %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		return fmt.Errorf("metrics content type %q", ct)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	fams, err := telemetry.ParseProm(bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("exposition does not parse: %w", err)
 	}
 	for _, want := range []string{
 		"rqp_requests_total",
@@ -212,121 +166,6 @@ func scrape(base string) error {
 			return fmt.Errorf("family %s is all-zero after a run + sweep", want)
 		}
 	}
-	log.Printf("scraped %d families, %d bytes, exposition valid", len(fams), len(body))
-	return nil
-}
-
-func freeAddr() (string, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr, nil
-}
-
-// poll drives fn immediately and then every interval until it reports done,
-// returns a permanent error, or the deadline passes. The last attempt runs
-// at the deadline itself (the sleep never overshoots it), so a condition
-// that becomes true late still passes instead of flaking on sleep phase.
-func poll(what string, timeout, interval time.Duration, fn func() (bool, error)) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		done, err := fn()
-		if err != nil {
-			return err
-		}
-		if done {
-			return nil
-		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return fmt.Errorf("timeout after %v waiting for %s", timeout, what)
-		}
-		if remaining < interval {
-			interval = remaining
-		}
-		time.Sleep(interval)
-	}
-}
-
-func await(url string, timeout time.Duration) error {
-	return poll(url, timeout, 50*time.Millisecond, func() (bool, error) {
-		// Connection errors are expected while the daemon boots: keep polling.
-		return get(url) == nil, nil
-	})
-}
-
-func createSession(base, body string) (string, error) {
-	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
-		b, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("create session: status %d: %s", resp.StatusCode, b)
-	}
-	var doc struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return "", err
-	}
-	if doc.ID == "" {
-		return "", fmt.Errorf("create session: no id in response")
-	}
-	return doc.ID, nil
-}
-
-func awaitReady(base, id string, timeout time.Duration) error {
-	return poll("session "+id+" ready", timeout, 50*time.Millisecond, func() (bool, error) {
-		resp, err := http.Get(base + "/v1/sessions/" + id)
-		if err != nil {
-			return false, err
-		}
-		var doc struct {
-			Status     string `json:"status"`
-			BuildError string `json:"buildError"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&doc)
-		resp.Body.Close()
-		if err != nil {
-			return false, err
-		}
-		switch doc.Status {
-		case "ready":
-			return true, nil
-		case "failed":
-			return false, fmt.Errorf("session build failed: %s", doc.BuildError)
-		}
-		return false, nil
-	})
-}
-
-func get(url string) error {
-	resp, err := http.Get(url)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
-	}
-	return nil
-}
-
-func post(url, body string) error {
-	resp, err := http.Post(url, "application/json", strings.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	b, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, b)
-	}
+	log.Printf("scraped %d families, exposition valid", len(fams))
 	return nil
 }

@@ -12,22 +12,16 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
-	"net"
 	"net/http"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"strings"
 	"sync"
-	"syscall"
 	"time"
 
-	"repro/internal/telemetry"
+	"repro/internal/smoke"
 )
 
 func main() {
@@ -47,49 +41,37 @@ func run() error {
 	defer os.RemoveAll(dir)
 
 	bin := filepath.Join(dir, "rqpd")
-	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/rqpd").CombinedOutput(); err != nil {
-		return fmt.Errorf("build rqpd: %v\n%s", err, out)
+	if err := smoke.BuildDaemon(bin); err != nil {
+		return err
 	}
 
-	addr, err := freeAddr()
+	addr, err := smoke.FreeAddr()
 	if err != nil {
 		return err
 	}
-	cmd := exec.Command(bin, "-addr", addr,
+	stop, err := smoke.StartDaemon(bin, "-addr", addr,
 		"-max-runs", "1", "-session-max-runs", "1", "-max-builds", "2")
-	cmd.Stdout = os.Stderr
-	cmd.Stderr = os.Stderr
-	if err := cmd.Start(); err != nil {
+	if err != nil {
 		return err
 	}
-	defer func() {
-		cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			cmd.Process.Kill()
-			<-done
-		}
-	}()
+	defer stop()
 
 	base := "http://" + addr
-	if err := await(base+"/v1/healthz", 10*time.Second); err != nil {
+	if err := smoke.Await(base+"/v1/healthz", 10*time.Second); err != nil {
 		return fmt.Errorf("daemon never became healthy: %w", err)
 	}
 
 	// A denser grid plus exhaustive sweeps makes every request heavy enough
 	// that the burst genuinely overlaps in the server.
-	id, err := createSession(base, `{"query":"2D_EQ","gridRes":16}`)
+	id, err := smoke.CreateSession(base, `{"query":"2D_EQ","gridRes":16}`)
 	if err != nil {
 		return err
 	}
-	if err := awaitReady(base, id, 60*time.Second); err != nil {
+	if err := smoke.AwaitReady(base, id, 60*time.Second); err != nil {
 		return err
 	}
 
-	baseline, err := goroutines(base)
+	baseline, err := smoke.Goroutines(base)
 	if err != nil {
 		return err
 	}
@@ -155,8 +137,8 @@ func run() error {
 
 	// Leak check: every admitted and every shed handler must have wound down.
 	// Allow a small margin for unrelated runtime goroutines.
-	return poll("goroutines back to baseline", 10*time.Second, 100*time.Millisecond, func() (bool, error) {
-		n, err := goroutines(base)
+	return smoke.Poll("goroutines back to baseline", 10*time.Second, 100*time.Millisecond, func() (bool, error) {
+		n, err := smoke.Goroutines(base)
 		if err != nil {
 			return false, err
 		}
@@ -170,18 +152,9 @@ func run() error {
 
 // scrapeGuards validates the exposition and the overload-control families.
 func scrapeGuards(base string, wantShed float64) error {
-	resp, err := http.Get(base + "/v1/metrics")
+	fams, err := smoke.Scrape(base)
 	if err != nil {
 		return err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	fams, err := telemetry.ParseProm(bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("exposition does not parse: %w", err)
 	}
 	for _, want := range []string{"rqp_inflight", "rqp_shed_total", "rqp_breaker_state"} {
 		if _, ok := fams[want]; !ok {
@@ -204,117 +177,4 @@ func scrapeGuards(base string, wantShed float64) error {
 	}
 	log.Printf("guard families present, rqp_shed_total{run} = %g, breaker closed", shed)
 	return nil
-}
-
-// goroutines reads the live goroutine count from /v1/debug/stats.
-func goroutines(base string) (int, error) {
-	resp, err := http.Get(base + "/v1/debug/stats")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	var doc struct {
-		Runtime struct {
-			Goroutines int `json:"goroutines"`
-		} `json:"runtime"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return 0, err
-	}
-	if doc.Runtime.Goroutines <= 0 {
-		return 0, fmt.Errorf("debug stats reported %d goroutines", doc.Runtime.Goroutines)
-	}
-	return doc.Runtime.Goroutines, nil
-}
-
-func freeAddr() (string, error) {
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", err
-	}
-	addr := l.Addr().String()
-	l.Close()
-	return addr, nil
-}
-
-// poll drives fn immediately and then every interval until it reports done,
-// returns a permanent error, or the deadline passes.
-func poll(what string, timeout, interval time.Duration, fn func() (bool, error)) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		done, err := fn()
-		if err != nil {
-			return err
-		}
-		if done {
-			return nil
-		}
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return fmt.Errorf("timeout after %v waiting for %s", timeout, what)
-		}
-		if remaining < interval {
-			interval = remaining
-		}
-		time.Sleep(interval)
-	}
-}
-
-func await(url string, timeout time.Duration) error {
-	return poll(url, timeout, 50*time.Millisecond, func() (bool, error) {
-		resp, err := http.Get(url)
-		if err != nil {
-			return false, nil // booting; keep polling
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		return resp.StatusCode == http.StatusOK, nil
-	})
-}
-
-func createSession(base, body string) (string, error) {
-	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
-		b, _ := io.ReadAll(resp.Body)
-		return "", fmt.Errorf("create session: status %d: %s", resp.StatusCode, b)
-	}
-	var doc struct {
-		ID string `json:"id"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return "", err
-	}
-	if doc.ID == "" {
-		return "", fmt.Errorf("create session: no id in response")
-	}
-	return doc.ID, nil
-}
-
-func awaitReady(base, id string, timeout time.Duration) error {
-	return poll("session "+id+" ready", timeout, 50*time.Millisecond, func() (bool, error) {
-		resp, err := http.Get(base + "/v1/sessions/" + id)
-		if err != nil {
-			return false, err
-		}
-		var doc struct {
-			Status     string `json:"status"`
-			BuildError string `json:"buildError"`
-		}
-		err = json.NewDecoder(resp.Body).Decode(&doc)
-		resp.Body.Close()
-		if err != nil {
-			return false, err
-		}
-		switch doc.Status {
-		case "ready":
-			return true, nil
-		case "failed":
-			return false, fmt.Errorf("session build failed: %s", doc.BuildError)
-		}
-		return false, nil
-	})
 }

@@ -1,0 +1,523 @@
+// Command replay is the live traffic-replay harness, wired to
+// `make replay-smoke`. It builds rqpd, boots it with deliberately tight
+// admission limits, and drives a seeded open-loop arrival process of mixed
+// traffic — clean runs, scenario-tagged runs from the error-regime suite
+// (adversarial-1 forces ESS escapes, regret-correlated-1 forces watchdog
+// aborts), sweeps, and session builds — followed by a concentrated sweep
+// burst past the run ceiling (shed drill) and a run of consecutive
+// CHAOS_FAIL session builds (circuit-breaker drill).
+//
+// The harness measures per-class p50/p95/p99 latency, status counts, and a
+// guardrail census (watchdog aborts, ESS escapes, sheds, breaker
+// rejections), cross-checks the census against the daemon's own
+// /v1/metrics exposition, and emits a machine-readable JSON report. With
+// -check it exits non-zero unless every guardrail class fired at least
+// once, p99 latency was recorded for the run class, and the goroutine
+// count settled back to its pre-replay baseline (no leaked handlers).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/smoke"
+)
+
+const breakerThreshold = 3
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("replay: ")
+	var (
+		duration = flag.Duration("duration", 15*time.Second, "mixed-traffic phase length")
+		rate     = flag.Float64("rate", 20, "mean arrival rate of the open-loop process (requests/sec)")
+		seed     = flag.Int64("seed", 1, "trace seed: arrivals, class mix, truth locations, scenario suite")
+		outPath  = flag.String("o", "-", "report file (- = stdout)")
+		check    = flag.Bool("check", false, "assert every guardrail class fired and no goroutines leaked; exit non-zero otherwise")
+	)
+	flag.Parse()
+	rep, err := run(*duration, *rate, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	payload = append(payload, '\n')
+	if *outPath == "-" {
+		os.Stdout.Write(payload)
+	} else if err := os.WriteFile(*outPath, payload, 0o644); err != nil {
+		log.Fatal(err)
+	} else {
+		log.Printf("wrote %s (%d bytes)", *outPath, len(payload))
+	}
+	if *check {
+		if problems := rep.problems(); len(problems) > 0 {
+			log.Fatalf("FAIL:\n  - %s", strings.Join(problems, "\n  - "))
+		}
+		log.Print("PASS: all guardrail classes fired, no goroutine leak")
+	}
+}
+
+// report is the machine-readable replay result.
+type report struct {
+	Seed      int64                  `json:"seed"`
+	DurationS float64                `json:"duration_s"`
+	Rate      float64                `json:"rate"`
+	Classes   map[string]*classStats `json:"classes"`
+	// Guardrails is the census observed on the wire.
+	Guardrails guardrails `json:"guardrails"`
+	// Daemon holds the cross-check scraped from /v1/metrics after the drills.
+	Daemon     daemonView `json:"daemon"`
+	Goroutines leakCheck  `json:"goroutines"`
+}
+
+type guardrails struct {
+	WatchdogAborts     int  `json:"watchdog_aborts"`
+	ESSEscapes         int  `json:"ess_escapes"`
+	Sheds              int  `json:"sheds"`
+	BreakerRejections  int  `json:"breaker_rejections"`
+	BreakerOpened      bool `json:"breaker_opened"`
+	Crashes            int  `json:"crashes"`
+	DegradedFallbacks  int  `json:"degraded_fallbacks"`
+	UnexpectedFailures int  `json:"unexpected_failures"`
+}
+
+type daemonView struct {
+	ShedTotal    float64            `json:"rqp_shed_total"`
+	BreakerState float64            `json:"rqp_breaker_state"`
+	Guard        map[string]float64 `json:"rqp_guard_interventions_total"`
+}
+
+type leakCheck struct {
+	Baseline int  `json:"baseline"`
+	Final    int  `json:"final"`
+	Settled  bool `json:"settled"`
+}
+
+// classStats aggregates one traffic class.
+type classStats struct {
+	Count    int            `json:"count"`
+	Statuses map[string]int `json:"statuses"`
+	P50Ms    float64        `json:"p50_ms"`
+	P95Ms    float64        `json:"p95_ms"`
+	P99Ms    float64        `json:"p99_ms"`
+
+	lat []float64
+}
+
+// problems lists every -check violation (empty = pass). The required
+// guardrail classes are the acceptance bar: watchdog abort, ESS escape,
+// shed, breaker.
+func (r *report) problems() []string {
+	var out []string
+	if r.Guardrails.WatchdogAborts < 1 {
+		out = append(out, "no watchdog abort (budget_abort) observed")
+	}
+	if r.Guardrails.ESSEscapes < 1 {
+		out = append(out, "no ESS escape (ess_escape) observed")
+	}
+	if r.Guardrails.Sheds < 1 {
+		out = append(out, "nothing was shed (429) despite the burst past -max-runs")
+	}
+	if !r.Guardrails.BreakerOpened || r.Guardrails.BreakerRejections < 1 {
+		out = append(out, "the build circuit breaker never opened/rejected")
+	}
+	if r.Guardrails.UnexpectedFailures > 0 {
+		out = append(out, fmt.Sprintf("%d requests failed outside the overload/guard contract", r.Guardrails.UnexpectedFailures))
+	}
+	if cs := r.Classes["run"]; cs == nil || cs.P99Ms <= 0 {
+		out = append(out, "no p99 latency recorded for the run class")
+	}
+	if !r.Goroutines.Settled {
+		out = append(out, fmt.Sprintf("goroutines leaked: baseline %d, final %d", r.Goroutines.Baseline, r.Goroutines.Final))
+	}
+	return out
+}
+
+// recorder accumulates per-class outcomes under concurrency.
+type recorder struct {
+	mu      sync.Mutex
+	classes map[string]*classStats
+	guard   guardrails
+}
+
+func newRecorder() *recorder {
+	return &recorder{classes: map[string]*classStats{}}
+}
+
+// observe records one finished request: its class, coarse outcome label,
+// wire latency, and (for runs) the guard verdict.
+func (rec *recorder) observe(class, outcome string, latency time.Duration, verdict string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	cs := rec.classes[class]
+	if cs == nil {
+		cs = &classStats{Statuses: map[string]int{}}
+		rec.classes[class] = cs
+	}
+	cs.Count++
+	cs.Statuses[outcome]++
+	cs.lat = append(cs.lat, float64(latency)/float64(time.Millisecond))
+	switch outcome {
+	case "shed":
+		rec.guard.Sheds++
+	case "breaker":
+		rec.guard.BreakerRejections++
+	case "error":
+		rec.guard.UnexpectedFailures++
+	}
+	switch verdict {
+	case "budget_abort":
+		rec.guard.WatchdogAborts++
+	case "ess_escape":
+		rec.guard.ESSEscapes++
+	case "crashed":
+		rec.guard.Crashes++
+	}
+}
+
+func (rec *recorder) snapshot() (map[string]*classStats, guardrails) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for _, cs := range rec.classes {
+		sort.Float64s(cs.lat)
+		cs.P50Ms = percentile(cs.lat, 0.50)
+		cs.P95Ms = percentile(cs.lat, 0.95)
+		cs.P99Ms = percentile(cs.lat, 0.99)
+	}
+	return rec.classes, rec.guard
+}
+
+// percentile reads the q-quantile of a sorted sample (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// trafficEvent is one arrival of the open-loop process, fully determined by
+// the trace seed before it is fired.
+type trafficEvent struct {
+	class    string
+	body     string // run payload ("" = not a run)
+	sweepMax int
+	build    bool
+}
+
+// pick draws the next event from the class mix: 40% clean runs, 15%
+// adversarial scenario runs, 15% regret-correlated scenario runs, 20%
+// sweeps, 10% session builds.
+func pick(rng *rand.Rand, seed int64) trafficEvent {
+	// Truth locations log-uniform over the selectivity range, away from the
+	// exact grid edges.
+	truth := func() string {
+		x := math.Pow(10, -5*rng.Float64()-0.1)
+		y := math.Pow(10, -5*rng.Float64()-0.1)
+		return fmt.Sprintf("[%.6g,%.6g]", x, y)
+	}
+	r := rng.Float64()
+	switch {
+	case r < 0.40:
+		return trafficEvent{class: "run",
+			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s}`, truth())}
+	case r < 0.55:
+		return trafficEvent{class: "run:adversarial",
+			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s,"scenario":"adversarial-1","scenarioSeed":%d}`, truth(), seed)}
+	case r < 0.70:
+		return trafficEvent{class: "run:correlated",
+			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s,"scenario":"regret-correlated-1","scenarioSeed":%d}`, truth(), seed)}
+	case r < 0.90:
+		return trafficEvent{class: "sweep", sweepMax: 16}
+	default:
+		return trafficEvent{class: "build", build: true}
+	}
+}
+
+func run(duration time.Duration, rate float64, seed int64) (*report, error) {
+	dir, err := os.MkdirTemp("", "replay")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "rqpd")
+	if err := smoke.BuildDaemon(bin); err != nil {
+		return nil, err
+	}
+	addr, err := smoke.FreeAddr()
+	if err != nil {
+		return nil, err
+	}
+	// Tight limits so the replay itself pushes the daemon into its guardrails:
+	// a run ceiling of one that the burst must overflow, a breaker that opens
+	// within one drill, and a cooldown long enough that the circuit is still
+	// open at the final scrape.
+	stop, err := smoke.StartDaemon(bin, "-addr", addr,
+		"-max-runs", "1", "-session-max-runs", "1", "-max-builds", "2",
+		"-breaker-threshold", fmt.Sprint(breakerThreshold), "-breaker-cooldown", "5m")
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	base := "http://" + addr
+	if err := smoke.Await(base+"/v1/healthz", 10*time.Second); err != nil {
+		return nil, fmt.Errorf("daemon never became healthy: %w", err)
+	}
+	// The anchor session every run/sweep targets: dense enough that
+	// exhaustive sweeps are heavy, small enough to build quickly.
+	id, err := smoke.CreateSession(base, `{"query":"2D_EQ","gridRes":16}`)
+	if err != nil {
+		return nil, err
+	}
+	if err := smoke.AwaitReady(base, id, 120*time.Second); err != nil {
+		return nil, err
+	}
+	baseline, err := smoke.Goroutines(base)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := newRecorder()
+	rng := rand.New(rand.NewSource(seed))
+
+	// Phase 1 — seeded open-loop mixed traffic: arrivals are a Poisson
+	// process at -rate; an arrival fires regardless of how many requests are
+	// still in flight (that is what makes overload real).
+	log.Printf("mixed traffic: %v at %g req/s against %s", duration, rate, id)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if next.Sub(start) > duration {
+			break
+		}
+		time.Sleep(time.Until(next))
+		ev := pick(rng, seed)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fire(base, id, ev, rec)
+		}()
+	}
+	wg.Wait()
+
+	// Phase 2 — shed drill: a concentrated burst of exhaustive sweeps past
+	// the run ceiling. Admission control must shed the excess with 429, not
+	// queue it.
+	log.Print("shed drill: 16 concurrent exhaustive sweeps")
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fire(base, id, trafficEvent{class: "sweep:burst", sweepMax: 0}, rec)
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3 — breaker drill: CHAOS_FAIL builds fail on contact; after
+	// breakerThreshold consecutive failures the next create must be rejected
+	// 503 by the open circuit.
+	log.Printf("breaker drill: %d consecutive failing builds", breakerThreshold)
+	if err := breakerDrill(base, rec); err != nil {
+		return nil, err
+	}
+
+	// Settle and scrape.
+	final := 0
+	settleErr := smoke.Poll("goroutines back to baseline", 15*time.Second, 100*time.Millisecond, func() (bool, error) {
+		n, err := smoke.Goroutines(base)
+		if err != nil {
+			return false, err
+		}
+		final = n
+		return n <= baseline+5, nil
+	})
+	daemon, err := scrapeDaemon(base)
+	if err != nil {
+		return nil, err
+	}
+
+	classes, guard := rec.snapshot()
+	guard.BreakerOpened = daemon.BreakerState > 0
+	rep := &report{
+		Seed: seed, DurationS: duration.Seconds(), Rate: rate,
+		Classes: classes, Guardrails: guard, Daemon: *daemon,
+		Goroutines: leakCheck{Baseline: baseline, Final: final, Settled: settleErr == nil},
+	}
+	log.Printf("census: %d watchdog aborts, %d escapes, %d sheds, %d breaker rejections, %d crashes",
+		guard.WatchdogAborts, guard.ESSEscapes, guard.Sheds, guard.BreakerRejections, guard.Crashes)
+	return rep, nil
+}
+
+// fire executes one traffic event and records its outcome. Contract
+// outcomes: ok (200), shed (429), breaker (503), timeout (504); anything
+// else is an unexpected failure.
+func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
+	var (
+		status  int
+		verdict string
+		err     error
+	)
+	start := time.Now()
+	switch {
+	case ev.build:
+		// A tiny real build: exercises the build limiter and keeps the
+		// breaker's consecutive-failure count at zero during mixed traffic.
+		status, _, err = do(http.MethodPost, base+"/v1/sessions", `{"query":"2D_EQ","gridRes":4}`)
+		if status == http.StatusAccepted || status == http.StatusCreated {
+			status = http.StatusOK
+		}
+	case ev.body != "":
+		var body []byte
+		status, body, err = do(http.MethodPost, base+"/v1/sessions/"+sessionID+"/run", ev.body)
+		if status == http.StatusOK {
+			var doc struct {
+				GuardVerdict string `json:"guardVerdict"`
+			}
+			if json.Unmarshal(body, &doc) == nil {
+				verdict = doc.GuardVerdict
+			}
+		}
+	default:
+		status, _, err = do(http.MethodGet,
+			fmt.Sprintf("%s/v1/sessions/%s/sweep?algorithm=spillbound&max=%d", base, sessionID, ev.sweepMax), "")
+	}
+	latency := time.Since(start)
+	outcome := "error"
+	switch {
+	case err != nil:
+	case status == http.StatusOK:
+		outcome = "ok"
+	case status == http.StatusTooManyRequests:
+		outcome = "shed"
+	case status == http.StatusServiceUnavailable:
+		outcome = "breaker"
+	case status == http.StatusGatewayTimeout:
+		outcome = "timeout"
+	}
+	rec.observe(ev.class, outcome, latency, verdict)
+}
+
+// breakerDrill runs breakerThreshold consecutive CHAOS_FAIL builds (each
+// awaited to its failed terminal state so the failures are consecutive in
+// the breaker's ledger) and then asserts the circuit rejects the next
+// create with 503.
+func breakerDrill(base string, rec *recorder) error {
+	for i := 0; i < breakerThreshold; i++ {
+		start := time.Now()
+		status, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
+		if err != nil {
+			return fmt.Errorf("chaos build %d: %w", i+1, err)
+		}
+		if status != http.StatusAccepted {
+			return fmt.Errorf("chaos build %d: status %d: %s (breaker opened early?)", i+1, status, body)
+		}
+		var doc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &doc); err != nil || doc.ID == "" {
+			return fmt.Errorf("chaos build %d: bad create response: %s", i+1, body)
+		}
+		if err := smoke.Poll("chaos session "+doc.ID+" failed", 10*time.Second, 50*time.Millisecond, func() (bool, error) {
+			st, err := sessionStatus(base, doc.ID)
+			return st == "failed", err
+		}); err != nil {
+			return err
+		}
+		rec.observe("build:chaos", "build_failed", time.Since(start), "")
+	}
+	start := time.Now()
+	status, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
+	if err != nil {
+		return err
+	}
+	latency := time.Since(start)
+	if status != http.StatusServiceUnavailable {
+		rec.observe("build:chaos", "error", latency, "")
+		return fmt.Errorf("create after %d consecutive build failures: status %d (want 503 from the open breaker): %s",
+			breakerThreshold, status, body)
+	}
+	rec.observe("build:chaos", "breaker", latency, "")
+	return nil
+}
+
+func sessionStatus(base, id string) (string, error) {
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	return doc.Status, nil
+}
+
+// scrapeDaemon cross-checks the census against the daemon's own exposition.
+func scrapeDaemon(base string) (*daemonView, error) {
+	fams, err := smoke.Scrape(base)
+	if err != nil {
+		return nil, err
+	}
+	out := &daemonView{Guard: map[string]float64{}}
+	if f := fams["rqp_shed_total"]; f != nil {
+		for _, s := range f.Samples {
+			out.ShedTotal += s.Value
+		}
+	}
+	if f := fams["rqp_breaker_state"]; f != nil && len(f.Samples) > 0 {
+		out.BreakerState = f.Samples[0].Value
+	}
+	if f := fams["rqp_guard_interventions_total"]; f != nil {
+		for _, s := range f.Samples {
+			out.Guard[s.Labels["verdict"]] += s.Value
+		}
+	}
+	return out, nil
+}
+
+// do issues one request and returns (status, body, error). Latency is the
+// caller's business so retries never hide in the measurement.
+func do(method, url, body string) (int, []byte, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, err
+}

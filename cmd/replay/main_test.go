@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestPercentileNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 5},
+		{0.95, 10},
+		{0.99, 10},
+		{0.10, 1},
+	}
+	for _, tc := range cases {
+		if got := percentile(s, tc.q); got != tc.want {
+			t.Errorf("p%g = %g, want %g", tc.q*100, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("empty sample p99 = %g, want 0", got)
+	}
+	if got := percentile([]float64{7}, 0.5); got != 7 {
+		t.Errorf("singleton p50 = %g", got)
+	}
+}
+
+func TestPickIsSeedDeterministic(t *testing.T) {
+	draw := func() []trafficEvent {
+		rng := rand.New(rand.NewSource(99))
+		out := make([]trafficEvent, 200)
+		for i := range out {
+			out[i] = pick(rng, 99)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	counts := map[string]int{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identically-seeded draws: %+v vs %+v", i, a[i], b[i])
+		}
+		counts[a[i].class]++
+	}
+	// Every traffic class must appear in a 200-event trace; the scenario
+	// classes are what make the guardrail census non-vacuous.
+	for _, class := range []string{"run", "run:adversarial", "run:correlated", "sweep", "build"} {
+		if counts[class] == 0 {
+			t.Errorf("class %s absent from a 200-event trace", class)
+		}
+	}
+}
+
+func TestRecorderCensus(t *testing.T) {
+	rec := newRecorder()
+	rec.observe("run", "ok", 5*time.Millisecond, "budget_abort")
+	rec.observe("run", "ok", 10*time.Millisecond, "ess_escape")
+	rec.observe("run", "shed", time.Millisecond, "")
+	rec.observe("build:chaos", "breaker", time.Millisecond, "")
+	rec.observe("sweep", "error", time.Millisecond, "")
+	classes, guard := rec.snapshot()
+	if guard.WatchdogAborts != 1 || guard.ESSEscapes != 1 || guard.Sheds != 1 ||
+		guard.BreakerRejections != 1 || guard.UnexpectedFailures != 1 {
+		t.Errorf("census off: %+v", guard)
+	}
+	cs := classes["run"]
+	if cs == nil || cs.Count != 3 || cs.Statuses["ok"] != 2 || cs.Statuses["shed"] != 1 {
+		t.Errorf("run class off: %+v", cs)
+	}
+	if cs.P50Ms <= 0 || cs.P99Ms < cs.P50Ms {
+		t.Errorf("percentiles off: p50=%g p99=%g", cs.P50Ms, cs.P99Ms)
+	}
+}
+
+func TestReportProblems(t *testing.T) {
+	good := &report{
+		Classes: map[string]*classStats{"run": {P99Ms: 12}},
+		Guardrails: guardrails{
+			WatchdogAborts: 1, ESSEscapes: 2, Sheds: 3,
+			BreakerRejections: 1, BreakerOpened: true,
+		},
+		Goroutines: leakCheck{Settled: true},
+	}
+	if p := good.problems(); len(p) != 0 {
+		t.Errorf("good report flagged: %v", p)
+	}
+	bad := &report{Classes: map[string]*classStats{}}
+	if p := bad.problems(); len(p) < 5 {
+		t.Errorf("empty report should trip every check, got %v", p)
+	}
+}

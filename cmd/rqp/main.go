@@ -7,6 +7,10 @@
 //
 //	rqp -query 4D_Q91 -algo spillbound -truth 0.8,0.008,0.05,0.6
 //	rqp -list
+//	rqp atlas -query 2D_EQ -algos spillbound -o atlas.svg
+//
+// The atlas subcommand sweeps a seeded error-regime scenario suite and dumps
+// the per-regime robustness atlas (see rqp atlas -h).
 package main
 
 import (
@@ -53,6 +57,15 @@ func main() {
 		eppsFlag  = flag.String("epps", "", "semicolon-separated error-prone join predicates for -sql (default: auto-identified, up to -d of them)")
 		dFlag     = flag.Int("d", 2, "number of epps to auto-identify when -epps is empty")
 	)
+	// Subcommand dispatch before flag.Parse: `rqp atlas ...` has its own
+	// flag set.
+	if len(os.Args) > 1 && os.Args[1] == "atlas" {
+		if err := atlasMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rqp atlas:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	flag.Parse()
 
 	if *list {

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// fakeScenarioRun is a deterministic synthetic strategy: the scenario index
+// selects the outcome shape.
+func fakeScenarioRun(scenario int, truth cost.Location) ScenarioOutcome {
+	switch scenario {
+	case 0: // benign: flat cost, clean
+		return ScenarioOutcome{TotalCost: 2}
+	case 1: // correlated: costlier, with a watchdog abort
+		return ScenarioOutcome{TotalCost: 3, GuardVerdict: "budget_abort"}
+	case 2: // adversarial: costliest, via the escape path
+		return ScenarioOutcome{TotalCost: 5, GuardVerdict: "ess_escape"}
+	default: // adversarial: degraded variant
+		return ScenarioOutcome{TotalCost: 4, Degraded: true}
+	}
+}
+
+func TestScenarioSweepAggregatesPerRegime(t *testing.T) {
+	s := buildSpace(t, 4)
+	// Normalize: have every cell cost 1 so TotalCost equals sub-optimality.
+	// buildSpace costs vary; instead scale outcomes by the cell's cost via
+	// the run closure.
+	g := s.Grid
+	costAt := func(truth cost.Location) float64 {
+		idx := make([]int, g.D)
+		for d := range idx {
+			idx[d] = g.CeilIndex(d, truth[d])
+		}
+		return s.CostAt(g.Flatten(idx))
+	}
+	regimeOf := []string{"benign", "regret-correlated", "adversarial", "adversarial"}
+	run := func(scenario int, truth cost.Location) ScenarioOutcome {
+		c := costAt(truth)
+		switch scenario {
+		case 0:
+			return ScenarioOutcome{TotalCost: 2 * c}
+		case 1:
+			return ScenarioOutcome{TotalCost: 3 * c, GuardVerdict: "budget_abort"}
+		case 2:
+			return ScenarioOutcome{TotalCost: 5 * c, GuardVerdict: "ess_escape"}
+		default:
+			return ScenarioOutcome{TotalCost: 4 * c, Degraded: true}
+		}
+	}
+
+	results, err := ScenarioSweepContext(context.Background(), s, regimeOf, run, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d regime results, want 3", len(results))
+	}
+	size := s.Grid.Size()
+	benign, corr, adv := results[0], results[1], results[2]
+	if benign.Regime != "benign" || corr.Regime != "regret-correlated" || adv.Regime != "adversarial" {
+		t.Fatalf("regime order wrong: %s, %s, %s", benign.Regime, corr.Regime, adv.Regime)
+	}
+	if benign.Scenarios != 1 || adv.Scenarios != 2 {
+		t.Errorf("scenario counts: benign %d, adversarial %d", benign.Scenarios, adv.Scenarios)
+	}
+	if benign.MSO != 2 || benign.ASO != 2 || benign.Locations != size {
+		t.Errorf("benign: MSO=%g ASO=%g locations=%d", benign.MSO, benign.ASO, benign.Locations)
+	}
+	if corr.MSO != 3 || corr.Guard["budget_abort"] != size {
+		t.Errorf("correlated: MSO=%g guard=%v", corr.MSO, corr.Guard)
+	}
+	// Adversarial mixes the 5x escape and the 4x degraded scenario: MSO 5,
+	// ASO 4.5, one escape per cell, one degradation per cell.
+	if adv.MSO != 5 || adv.ASO != 4.5 || adv.Locations != 2*size {
+		t.Errorf("adversarial: MSO=%g ASO=%g locations=%d", adv.MSO, adv.ASO, adv.Locations)
+	}
+	if adv.Guard["ess_escape"] != size || adv.Degraded != size {
+		t.Errorf("adversarial census: guard=%v degraded=%d", adv.Guard, adv.Degraded)
+	}
+	// Per-cell atlas data: the worst scenario per cell wins, and the verdict
+	// overlay keeps the most severe verdict (escape > degraded).
+	for i := range adv.Cells {
+		if adv.SubOpt[i] != 5 {
+			t.Fatalf("adversarial cell %d SubOpt=%g, want 5", i, adv.SubOpt[i])
+		}
+		if adv.Verdict[i] != "ess_escape" {
+			t.Fatalf("adversarial cell %d verdict=%q, want ess_escape", i, adv.Verdict[i])
+		}
+	}
+}
+
+func TestScenarioSweepParallelMatchesSerial(t *testing.T) {
+	s := buildSpace(t, 4)
+	regimeOf := []string{"benign", "regret-correlated", "adversarial", "adversarial"}
+	run := ScenarioRunFunc(fakeScenarioRun)
+	serial, err := ScenarioSweepContext(context.Background(), s, regimeOf, run, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ScenarioSweepContext(context.Background(), s, regimeOf, run, SweepOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel sweep differs from serial:\n%+v\nvs\n%+v", serial, parallel)
+	}
+}
+
+func TestScenarioSweepSkipAndCancel(t *testing.T) {
+	s := buildSpace(t, 4)
+	run := func(scenario int, truth cost.Location) ScenarioOutcome {
+		return ScenarioOutcome{Skip: true}
+	}
+	results, err := ScenarioSweepContext(context.Background(), s, []string{"benign"}, run, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Locations != 0 || r.Skipped != s.Grid.Size() || r.MSOCell != -1 {
+		t.Errorf("skip accounting: %+v", r)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScenarioSweepContext(ctx, s, []string{"benign"}, run, SweepOptions{}); err == nil {
+		t.Error("canceled sweep reported no error")
+	}
+}
+
+func TestScenarioSweepSampling(t *testing.T) {
+	s := buildSpace(t, 8)
+	run := func(scenario int, truth cost.Location) ScenarioOutcome {
+		return ScenarioOutcome{TotalCost: 1}
+	}
+	results, err := ScenarioSweepContext(context.Background(), s, []string{"benign", "benign"}, run,
+		SweepOptions{MaxLocations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if len(r.Cells) != 10 {
+		t.Errorf("sampled %d cells, want 10", len(r.Cells))
+	}
+	if r.Locations != 20 {
+		t.Errorf("two scenarios over 10 cells accounted %d evaluations", r.Locations)
+	}
+}

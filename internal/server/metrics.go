@@ -41,6 +41,7 @@ type serverMetrics struct {
 	retries *telemetry.Counter
 	subOpt  *telemetry.Histogram
 	maxSub  *telemetry.Gauge
+	guard   *telemetry.CounterVec // verdict
 
 	builds        *telemetry.CounterVec // result
 	buildCells    *telemetry.Counter
@@ -78,6 +79,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			subOptBuckets),
 		maxSub: reg.Gauge("rqp_suboptimality_max",
 			"High-water sub-optimality observed since process start (empirical MSO)."),
+		guard: reg.CounterVec("rqp_guard_interventions_total",
+			"Runtime-guard interventions on served runs, by verdict (budget_abort, ess_escape).",
+			"verdict"),
 		builds: reg.CounterVec("rqp_session_builds_total",
 			"Asynchronous ESS session builds, by result (ok, failed).",
 			"result"),
@@ -128,6 +132,13 @@ func (m *serverMetrics) observeRun(algorithm string, degraded bool, retries int,
 	if subOpt > 0 {
 		m.subOpt.Observe(subOpt)
 		m.maxSub.SetMax(subOpt)
+	}
+}
+
+// observeGuard counts a run's guard intervention (no-op for clean runs).
+func (m *serverMetrics) observeGuard(verdict string) {
+	if verdict != "" {
+		m.guard.With(verdict).Inc()
 	}
 }
 

@@ -263,6 +263,7 @@ func (s *Server) Handler() http.Handler {
 	// Durable run resources are new in /v1 and have no legacy alias.
 	v1("GET /sessions/{id}/runs", s.handleListRuns)
 	v1("GET /sessions/{id}/runs/{rid}", s.handleGetRun)
+	v1("GET /atlas", s.handleAtlas)
 	v1("GET /metrics", m.handleMetrics)
 	v1("GET /debug/stats", m.handleDebugStats)
 	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
@@ -666,6 +667,15 @@ type runRequest struct {
 	// RunID names the durable run (optional; the server allocates one when
 	// empty). Ignored for non-durable runs.
 	RunID string `json:"runId,omitempty"`
+	// Scenario names a seeded error-regime scenario ("benign-1",
+	// "regret-correlated-2", "adversarial-1", ...) whose fault composition is
+	// injected into the run — the server-side hook the traffic-replay harness
+	// drives. Empty means a clean run.
+	Scenario string `json:"scenario,omitempty"`
+	// ScenarioSeed selects the scenario suite the name resolves in
+	// (default 1); the same (seed, name) pair denotes the same faults in
+	// every process.
+	ScenarioSeed int64 `json:"scenarioSeed,omitempty"`
 }
 
 // runResponse mirrors repro.RunResult for the wire.
@@ -688,6 +698,11 @@ type runResponse struct {
 	// field is then omitted — the MSO bound no longer applies).
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// GuardVerdict reports the strongest runtime-guard intervention of the
+	// run: "budget_abort", "ess_escape", or empty for a clean run.
+	GuardVerdict string `json:"guardVerdict,omitempty"`
+	// Scenario echoes the injected error-regime scenario, if any.
+	Scenario string `json:"scenario,omitempty"`
 	// RunID names the durable run the result belongs to (durable runs only).
 	RunID string `json:"runId,omitempty"`
 	// Resumed reports the run was rehydrated from a crash checkpoint;
@@ -714,6 +729,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, err)
 		return
 	}
+	var fp *repro.FaultPlan
+	if req.Scenario != "" {
+		seed := req.ScenarioSeed
+		if seed == 0 {
+			seed = 1
+		}
+		sc, ok := repro.ScenarioByName(seed, req.Scenario)
+		if !ok {
+			writeError(w, http.StatusBadRequest, codeBadRequest,
+				fmt.Errorf("unknown scenario %q (want <regime>-<n>, e.g. %q)", req.Scenario, "adversarial-1"))
+			return
+		}
+		fp = &sc.Faults
+	}
 	runID := ""
 	if req.Durable {
 		if e.dataDir == "" {
@@ -734,9 +763,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res repro.RunResult
-	if req.Durable {
+	switch {
+	case req.Durable && fp != nil:
+		res, err = sess.RunDurableWithFaults(r.Context(), algo, repro.Location(req.Truth), runID, fp)
+	case req.Durable:
 		res, err = sess.RunDurable(r.Context(), algo, repro.Location(req.Truth), runID)
-	} else {
+	case fp != nil:
+		res, err = sess.RunWithFaults(r.Context(), algo, repro.Location(req.Truth), fp)
+	default:
 		res, err = sess.RunContext(r.Context(), algo, repro.Location(req.Truth))
 	}
 	if err != nil {
@@ -750,7 +784,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	release(true)
 	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
+	s.metrics.observeGuard(res.GuardVerdict)
 	resp := s.buildRunResponse(sess, algo, res)
+	resp.Scenario = req.Scenario
 	if req.Durable {
 		s.recordRun(e, res, resp)
 	}
@@ -764,9 +800,10 @@ func (s *Server) buildRunResponse(sess *repro.Session, algo repro.Algorithm, res
 		Algorithm: algo.String(), TotalCost: res.TotalCost,
 		OptimalCost: res.OptimalCost, SubOpt: res.SubOpt,
 		Steps: len(res.Steps), Trace: res.Trace, Events: res.Events,
-		Retries: res.Retries,
+		Retries:  res.Retries,
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
-		RunID: res.RunID, Resumed: res.Resumed,
+		GuardVerdict: res.GuardVerdict,
+		RunID:        res.RunID, Resumed: res.Resumed,
 	}
 	if g := sess.Guarantee(algo); g < 1e300 && !res.Degraded {
 		resp.Guarantee = g

@@ -1,0 +1,232 @@
+// Package smoke is the shared toolkit of the end-to-end daemon drills
+// (cmd/metricssmoke, cmd/overloadsmoke, cmd/replay): build and boot rqpd,
+// poll with a deadline, drive the /v1 session lifecycle, and scrape the
+// Prometheus exposition. Every helper is a plain function returning errors —
+// the drills decide what is fatal.
+package smoke
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Poll drives fn immediately and then every interval until it reports done,
+// returns a permanent error, or the deadline passes. The last attempt runs
+// at the deadline itself (the sleep never overshoots it), so a condition
+// that becomes true late still passes instead of flaking on sleep phase.
+func Poll(what string, timeout, interval time.Duration, fn func() (bool, error)) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		done, err := fn()
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("timeout after %v waiting for %s", timeout, what)
+		}
+		if remaining < interval {
+			interval = remaining
+		}
+		time.Sleep(interval)
+	}
+}
+
+// FreeAddr reserves and releases a loopback TCP address for the daemon.
+func FreeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// BuildDaemon compiles ./cmd/rqpd into binPath.
+func BuildDaemon(binPath string) error {
+	if out, err := exec.Command("go", "build", "-o", binPath, "./cmd/rqpd").CombinedOutput(); err != nil {
+		return fmt.Errorf("build rqpd: %v\n%s", err, out)
+	}
+	return nil
+}
+
+// StartDaemon boots a built rqpd with the given flags, forwarding its output
+// to stderr, and returns an idempotent stop function (SIGTERM with a kill
+// fallback after 10s — the graceful-shutdown drill by default).
+func StartDaemon(binPath string, args ...string) (stop func(), err error) {
+	cmd := exec.Command(binPath, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}, nil
+}
+
+// Await polls url until it answers 200 (connection errors mean "booting" and
+// keep the poll alive).
+func Await(url string, timeout time.Duration) error {
+	return Poll(url, timeout, 50*time.Millisecond, func() (bool, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return false, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK, nil
+	})
+}
+
+// CreateSession POSTs the create payload and returns the accepted session ID
+// (the build is still asynchronous — pair with AwaitReady).
+func CreateSession(base, body string) (string, error) {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("create session: status %d: %s", resp.StatusCode, b)
+	}
+	var doc struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return "", err
+	}
+	if doc.ID == "" {
+		return "", fmt.Errorf("create session: no id in response")
+	}
+	return doc.ID, nil
+}
+
+// AwaitReady polls the session resource until its status is ready; a failed
+// build is a permanent error.
+func AwaitReady(base, id string, timeout time.Duration) error {
+	return Poll("session "+id+" ready", timeout, 50*time.Millisecond, func() (bool, error) {
+		resp, err := http.Get(base + "/v1/sessions/" + id)
+		if err != nil {
+			return false, err
+		}
+		var doc struct {
+			Status     string `json:"status"`
+			BuildError string `json:"buildError"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			return false, err
+		}
+		switch doc.Status {
+		case "ready":
+			return true, nil
+		case "failed":
+			return false, fmt.Errorf("session build failed: %s", doc.BuildError)
+		}
+		return false, nil
+	})
+}
+
+// Get fetches url and requires a 200.
+func Get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return nil
+}
+
+// Post sends a JSON payload and requires a 200.
+func Post(url, body string) error {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return nil
+}
+
+// Scrape fetches /v1/metrics and returns the parsed Prometheus families.
+func Scrape(base string) (map[string]*telemetry.ParsedFamily, error) {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	fams, err := telemetry.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("exposition does not parse: %w", err)
+	}
+	return fams, nil
+}
+
+// Goroutines reads the live goroutine count from /v1/debug/stats.
+func Goroutines(base string) (int, error) {
+	resp, err := http.Get(base + "/v1/debug/stats")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Runtime struct {
+			Goroutines int `json:"goroutines"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, err
+	}
+	if doc.Runtime.Goroutines <= 0 {
+		return 0, fmt.Errorf("debug stats reported %d goroutines", doc.Runtime.Goroutines)
+	}
+	return doc.Runtime.Goroutines, nil
+}

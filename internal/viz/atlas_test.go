@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// smallAtlas is a hand-built 3x2 atlas exercising every render path: the
+// heat ramp, the unswept-cell gray, and one overlay marker per guard class.
+func smallAtlas() *Atlas {
+	return &Atlas{
+		Query:   "Q91 & friends", // & exercises escaping
+		NX:      3,
+		NY:      2,
+		SelX:    []float64{1e-6, 1e-3, 1},
+		SelY:    []float64{1e-6, 1},
+		Regimes: []string{"benign", "adversarial"},
+		Maps: []AtlasMap{
+			{
+				Algorithm: "spillbound", Regime: "benign",
+				MSO: 2, ASO: 1.5,
+				// Flat index ci = x*NY + y; cell (2,1) left unswept.
+				SubOpt:   []float64{1, 1.2, 1.5, 2, 1.1, 0},
+				Verdict:  []string{"", "", "", "degraded", "", ""},
+				Guard:    map[string]int{},
+				Degraded: 1,
+			},
+			{
+				Algorithm: "spillbound", Regime: "adversarial",
+				MSO: 8, ASO: 4,
+				SubOpt:  []float64{8, 4, 3, 2, 5, 6},
+				Verdict: []string{"ess_escape", "budget_abort", "crashed", "", "ess_escape", "budget_abort"},
+				Guard:   map[string]int{"ess_escape": 2, "budget_abort": 2, "crashed": 1},
+			},
+		},
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden %s unreadable (run go test ./internal/viz -update): %v", name, err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("%s drifted from golden; rerun with -update if intended.\n--- got ---\n%s", name, got)
+	}
+}
+
+func TestAtlasGoldenSVG(t *testing.T) {
+	checkGolden(t, "atlas.svg", []byte(smallAtlas().SVG()))
+}
+
+func TestAtlasGoldenJSON(t *testing.T) {
+	b, err := smallAtlas().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "atlas.json", b)
+}
+
+func TestAtlasSVGStructure(t *testing.T) {
+	svg := smallAtlas().SVG()
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not a standalone SVG document")
+	}
+	// 2 panels x 6 cells of heat, plus panel frames and legend swatches.
+	if n := strings.Count(svg, "<rect "); n < 12 {
+		t.Errorf("only %d rects; heat layer missing cells", n)
+	}
+	// One overlay glyph per non-empty verdict: 3 escapes→paths, circles for
+	// the two aborts, a square for the crash, a dot for the degradation.
+	if n := strings.Count(svg, "<path "); n != 2 {
+		t.Errorf("%d escape crosses, want 2", n)
+	}
+	if n := strings.Count(svg, `r="3"`); n != 2 {
+		t.Errorf("%d abort circles, want 2", n)
+	}
+	if n := strings.Count(svg, `r="1.5"`); n != 1 {
+		t.Errorf("%d degradation dots, want 1", n)
+	}
+	if !strings.Contains(svg, "&amp; friends") {
+		t.Error("query name not escaped")
+	}
+	if !strings.Contains(svg, "gray=unswept") {
+		t.Error("legend missing")
+	}
+}
+
+func TestAtlasHeatRamp(t *testing.T) {
+	if heat(0, 8) != "#e2e8f0" {
+		t.Error("unswept cells should render gray")
+	}
+	if heat(1, 8) != "#ffffff" {
+		t.Error("optimal cells should render white")
+	}
+	if heat(8, 8) != "#b2182b" {
+		t.Error("the atlas-wide max should saturate the ramp")
+	}
+	if heat(100, 8) != "#b2182b" {
+		t.Error("above-max values must clamp")
+	}
+}

@@ -326,8 +326,24 @@ func JOB1a() Spec {
 	}
 }
 
+// ChaosFail returns a spec whose build always fails: the query references
+// tables absent from every catalog, so binding errors out immediately. It is
+// deliberately excluded from Names() and the daemon's query listing — it
+// exists for resilience drills (cmd/replay's circuit-breaker phase) that
+// need a session build to fail on demand against a real daemon.
+func ChaosFail() Spec {
+	return Spec{
+		Name: "CHAOS_FAIL", D: 2, Catalog: "tpcds",
+		SQL: `
+			SELECT * FROM no_such_table x, also_missing y
+			WHERE x.a = y.b`,
+		EPPs:    []string{"x.a = y.b"},
+		GridRes: 4, GridLo: gridLo,
+	}
+}
+
 // ByName returns the suite query with the given name (including the Q91
-// dimensional variants and JOB_1a).
+// dimensional variants, JOB_1a, and the hidden CHAOS_FAIL drill spec).
 func ByName(name string) (Spec, bool) {
 	for _, sp := range TPCDSQueries() {
 		if sp.Name == name {
@@ -346,6 +362,9 @@ func ByName(name string) (Spec, bool) {
 		return sp, true
 	}
 	if sp := Q25(); sp.Name == name {
+		return sp, true
+	}
+	if sp := ChaosFail(); sp.Name == name {
 		return sp, true
 	}
 	return Spec{}, false

@@ -149,6 +149,21 @@ func TestBuildErrors(t *testing.T) {
 	}
 }
 
+func TestChaosFailIsHiddenAndFails(t *testing.T) {
+	sp, ok := ByName("CHAOS_FAIL")
+	if !ok {
+		t.Fatal("ByName(CHAOS_FAIL) should resolve (the replay drill depends on it)")
+	}
+	if _, err := sp.Build(catalog.TPCDS(1)); err == nil {
+		t.Error("CHAOS_FAIL build should fail — it exists to trip the breaker")
+	}
+	for _, name := range Names() {
+		if name == "CHAOS_FAIL" {
+			t.Error("CHAOS_FAIL leaked into Names(); it must stay off the public listing")
+		}
+	}
+}
+
 func TestEQBuilds(t *testing.T) {
 	sp := EQ()
 	q, err := sp.Build(catalog.TPCH(1))
