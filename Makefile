@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos bench experiments metrics-smoke overload-smoke replay-smoke atlas fuzz clean
+.PHONY: all build test race vet chaos resume-chaos bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke atlas fuzz clean
 
 all: vet build test
 
@@ -33,10 +33,20 @@ resume-chaos:
 	$(GO) test -race ./internal/runstate/ -v
 
 # bench runs the serial-vs-parallel ESS build comparison first, recording
-# the raw results in BENCH_build.json, then the full benchmark suite.
+# the raw results in BENCH_build.json, then the selection-strategy
+# benchmarks (penaltyaware/probabilistic/minmaxregret choose + ladder) into
+# BENCH_strategy.json, then the full benchmark suite.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkBuild(Serial|Parallel)$$' -benchmem -json . > BENCH_build.json
+	$(GO) test -run '^$$' -bench 'BenchmarkStrategySelect' -benchmem -json . > BENCH_strategy.json
 	$(GO) test -bench=. -benchmem -run '^$$'
+
+# sweep-strategies is the strategy-registry smoke: sweeps every registered
+# strategy on a 2D session (finite MSO, discovery strategies within their
+# guarantees) and drives the error-regime scenario suite for a discovery and
+# a selection strategy, asserting the guard-verdict census is populated.
+sweep-strategies:
+	$(GO) run ./cmd/strategysweep
 
 experiments:
 	$(GO) run ./cmd/experiments

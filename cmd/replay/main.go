@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	repro "repro"
 	"repro/internal/smoke"
 )
 
@@ -46,9 +47,15 @@ func main() {
 		seed     = flag.Int64("seed", 1, "trace seed: arrivals, class mix, truth locations, scenario suite")
 		outPath  = flag.String("o", "-", "report file (- = stdout)")
 		check    = flag.Bool("check", false, "assert every guardrail class fired and no goroutines leaked; exit non-zero otherwise")
+		mixSpec  = flag.String("strategies", "spillbound",
+			"comma-separated strategy mix for clean runs; each arrival draws one uniformly (seeded), and the report breaks tail latency out per strategy")
 	)
 	flag.Parse()
-	rep, err := run(*duration, *rate, *seed)
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := run(*duration, *rate, *seed, mix)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,12 +79,38 @@ func main() {
 	}
 }
 
+// parseMix resolves the -strategies knob against the strategy registry,
+// canonicalizing aliases ("sb" → "spillbound") and rejecting unknown names
+// before the daemon ever boots.
+func parseMix(spec string) ([]string, error) {
+	var mix []string
+	for _, name := range strings.Split(spec, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		canonical, _, err := repro.ParseStrategyName(name)
+		if err != nil {
+			return nil, err
+		}
+		mix = append(mix, canonical)
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty -strategies mix")
+	}
+	return mix, nil
+}
+
 // report is the machine-readable replay result.
 type report struct {
 	Seed      int64                  `json:"seed"`
 	DurationS float64                `json:"duration_s"`
 	Rate      float64                `json:"rate"`
+	Mix       []string               `json:"strategy_mix"`
 	Classes   map[string]*classStats `json:"classes"`
+	// Strategies breaks the clean-run class out per strategy of the mix, so
+	// the tail-latency cost of each selection/discovery strategy is visible
+	// side by side under identical arrivals.
+	Strategies map[string]*classStats `json:"strategies"`
 	// Guardrails is the census observed on the wire.
 	Guardrails guardrails `json:"guardrails"`
 	// Daemon holds the cross-check scraped from /v1/metrics after the drills.
@@ -150,28 +183,36 @@ func (r *report) problems() []string {
 
 // recorder accumulates per-class outcomes under concurrency.
 type recorder struct {
-	mu      sync.Mutex
-	classes map[string]*classStats
-	guard   guardrails
+	mu         sync.Mutex
+	classes    map[string]*classStats
+	strategies map[string]*classStats
+	guard      guardrails
 }
 
 func newRecorder() *recorder {
-	return &recorder{classes: map[string]*classStats{}}
+	return &recorder{classes: map[string]*classStats{}, strategies: map[string]*classStats{}}
 }
 
-// observe records one finished request: its class, coarse outcome label,
-// wire latency, and (for runs) the guard verdict.
-func (rec *recorder) observe(class, outcome string, latency time.Duration, verdict string) {
+// observe records one finished request: its class, the strategy it ran (""
+// for non-run traffic), coarse outcome label, wire latency, and (for runs)
+// the guard verdict.
+func (rec *recorder) observe(class, strategy, outcome string, latency time.Duration, verdict string) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	cs := rec.classes[class]
-	if cs == nil {
-		cs = &classStats{Statuses: map[string]int{}}
-		rec.classes[class] = cs
+	record := func(m map[string]*classStats, key string) {
+		cs := m[key]
+		if cs == nil {
+			cs = &classStats{Statuses: map[string]int{}}
+			m[key] = cs
+		}
+		cs.Count++
+		cs.Statuses[outcome]++
+		cs.lat = append(cs.lat, float64(latency)/float64(time.Millisecond))
 	}
-	cs.Count++
-	cs.Statuses[outcome]++
-	cs.lat = append(cs.lat, float64(latency)/float64(time.Millisecond))
+	record(rec.classes, class)
+	if strategy != "" {
+		record(rec.strategies, strategy)
+	}
 	switch outcome {
 	case "shed":
 		rec.guard.Sheds++
@@ -190,16 +231,18 @@ func (rec *recorder) observe(class, outcome string, latency time.Duration, verdi
 	}
 }
 
-func (rec *recorder) snapshot() (map[string]*classStats, guardrails) {
+func (rec *recorder) snapshot() (classes, strategies map[string]*classStats, guard guardrails) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	for _, cs := range rec.classes {
-		sort.Float64s(cs.lat)
-		cs.P50Ms = percentile(cs.lat, 0.50)
-		cs.P95Ms = percentile(cs.lat, 0.95)
-		cs.P99Ms = percentile(cs.lat, 0.99)
+	for _, m := range []map[string]*classStats{rec.classes, rec.strategies} {
+		for _, cs := range m {
+			sort.Float64s(cs.lat)
+			cs.P50Ms = percentile(cs.lat, 0.50)
+			cs.P95Ms = percentile(cs.lat, 0.95)
+			cs.P99Ms = percentile(cs.lat, 0.99)
+		}
 	}
-	return rec.classes, rec.guard
+	return rec.classes, rec.strategies, rec.guard
 }
 
 // percentile reads the q-quantile of a sorted sample (nearest-rank).
@@ -221,15 +264,18 @@ func percentile(sorted []float64, q float64) float64 {
 // the trace seed before it is fired.
 type trafficEvent struct {
 	class    string
+	strategy string // clean-run strategy ("" = not a clean run)
 	body     string // run payload ("" = not a run)
 	sweepMax int
 	build    bool
 }
 
-// pick draws the next event from the class mix: 40% clean runs, 15%
-// adversarial scenario runs, 15% regret-correlated scenario runs, 20%
-// sweeps, 10% session builds.
-func pick(rng *rand.Rand, seed int64) trafficEvent {
+// pick draws the next event from the class mix: 40% clean runs (strategy
+// drawn uniformly from the -strategies mix), 15% adversarial scenario runs,
+// 15% regret-correlated scenario runs, 20% sweeps, 10% session builds. The
+// scenario drills stay pinned to spillbound so the guardrail census is
+// independent of the mix under test.
+func pick(rng *rand.Rand, seed int64, mix []string) trafficEvent {
 	// Truth locations log-uniform over the selectivity range, away from the
 	// exact grid edges.
 	truth := func() string {
@@ -240,14 +286,15 @@ func pick(rng *rand.Rand, seed int64) trafficEvent {
 	r := rng.Float64()
 	switch {
 	case r < 0.40:
-		return trafficEvent{class: "run",
-			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s}`, truth())}
+		st := mix[rng.Intn(len(mix))]
+		return trafficEvent{class: "run", strategy: st,
+			body: fmt.Sprintf(`{"strategy":%q,"truth":%s}`, st, truth())}
 	case r < 0.55:
 		return trafficEvent{class: "run:adversarial",
-			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s,"scenario":"adversarial-1","scenarioSeed":%d}`, truth(), seed)}
+			body: fmt.Sprintf(`{"strategy":"spillbound","truth":%s,"scenario":"adversarial-1","scenarioSeed":%d}`, truth(), seed)}
 	case r < 0.70:
 		return trafficEvent{class: "run:correlated",
-			body: fmt.Sprintf(`{"algorithm":"spillbound","truth":%s,"scenario":"regret-correlated-1","scenarioSeed":%d}`, truth(), seed)}
+			body: fmt.Sprintf(`{"strategy":"spillbound","truth":%s,"scenario":"regret-correlated-1","scenarioSeed":%d}`, truth(), seed)}
 	case r < 0.90:
 		return trafficEvent{class: "sweep", sweepMax: 16}
 	default:
@@ -255,7 +302,7 @@ func pick(rng *rand.Rand, seed int64) trafficEvent {
 	}
 }
 
-func run(duration time.Duration, rate float64, seed int64) (*report, error) {
+func run(duration time.Duration, rate float64, seed int64, mix []string) (*report, error) {
 	dir, err := os.MkdirTemp("", "replay")
 	if err != nil {
 		return nil, err
@@ -316,7 +363,7 @@ func run(duration time.Duration, rate float64, seed int64) (*report, error) {
 			break
 		}
 		time.Sleep(time.Until(next))
-		ev := pick(rng, seed)
+		ev := pick(rng, seed, mix)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -361,11 +408,11 @@ func run(duration time.Duration, rate float64, seed int64) (*report, error) {
 		return nil, err
 	}
 
-	classes, guard := rec.snapshot()
+	classes, strategies, guard := rec.snapshot()
 	guard.BreakerOpened = daemon.BreakerState > 0
 	rep := &report{
-		Seed: seed, DurationS: duration.Seconds(), Rate: rate,
-		Classes: classes, Guardrails: guard, Daemon: *daemon,
+		Seed: seed, DurationS: duration.Seconds(), Rate: rate, Mix: mix,
+		Classes: classes, Strategies: strategies, Guardrails: guard, Daemon: *daemon,
 		Goroutines: leakCheck{Baseline: baseline, Final: final, Settled: settleErr == nil},
 	}
 	log.Printf("census: %d watchdog aborts, %d escapes, %d sheds, %d breaker rejections, %d crashes",
@@ -419,7 +466,7 @@ func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 	case status == http.StatusGatewayTimeout:
 		outcome = "timeout"
 	}
-	rec.observe(ev.class, outcome, latency, verdict)
+	rec.observe(ev.class, ev.strategy, outcome, latency, verdict)
 }
 
 // breakerDrill runs breakerThreshold consecutive CHAOS_FAIL builds (each
@@ -448,7 +495,7 @@ func breakerDrill(base string, rec *recorder) error {
 		}); err != nil {
 			return err
 		}
-		rec.observe("build:chaos", "build_failed", time.Since(start), "")
+		rec.observe("build:chaos", "", "build_failed", time.Since(start), "")
 	}
 	start := time.Now()
 	status, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
@@ -457,11 +504,11 @@ func breakerDrill(base string, rec *recorder) error {
 	}
 	latency := time.Since(start)
 	if status != http.StatusServiceUnavailable {
-		rec.observe("build:chaos", "error", latency, "")
+		rec.observe("build:chaos", "", "error", latency, "")
 		return fmt.Errorf("create after %d consecutive build failures: status %d (want 503 from the open breaker): %s",
 			breakerThreshold, status, body)
 	}
-	rec.observe("build:chaos", "breaker", latency, "")
+	rec.observe("build:chaos", "", "breaker", latency, "")
 	return nil
 }
 

@@ -35,7 +35,7 @@ func TestPickIsSeedDeterministic(t *testing.T) {
 		rng := rand.New(rand.NewSource(99))
 		out := make([]trafficEvent, 200)
 		for i := range out {
-			out[i] = pick(rng, 99)
+			out[i] = pick(rng, 99, []string{"spillbound", "minmaxregret"})
 		}
 		return out
 	}
@@ -58,12 +58,12 @@ func TestPickIsSeedDeterministic(t *testing.T) {
 
 func TestRecorderCensus(t *testing.T) {
 	rec := newRecorder()
-	rec.observe("run", "ok", 5*time.Millisecond, "budget_abort")
-	rec.observe("run", "ok", 10*time.Millisecond, "ess_escape")
-	rec.observe("run", "shed", time.Millisecond, "")
-	rec.observe("build:chaos", "breaker", time.Millisecond, "")
-	rec.observe("sweep", "error", time.Millisecond, "")
-	classes, guard := rec.snapshot()
+	rec.observe("run", "spillbound", "ok", 5*time.Millisecond, "budget_abort")
+	rec.observe("run", "penaltyaware", "ok", 10*time.Millisecond, "ess_escape")
+	rec.observe("run", "spillbound", "shed", time.Millisecond, "")
+	rec.observe("build:chaos", "", "breaker", time.Millisecond, "")
+	rec.observe("sweep", "", "error", time.Millisecond, "")
+	classes, strategies, guard := rec.snapshot()
 	if guard.WatchdogAborts != 1 || guard.ESSEscapes != 1 || guard.Sheds != 1 ||
 		guard.BreakerRejections != 1 || guard.UnexpectedFailures != 1 {
 		t.Errorf("census off: %+v", guard)
@@ -74,6 +74,16 @@ func TestRecorderCensus(t *testing.T) {
 	}
 	if cs.P50Ms <= 0 || cs.P99Ms < cs.P50Ms {
 		t.Errorf("percentiles off: p50=%g p99=%g", cs.P50Ms, cs.P99Ms)
+	}
+	// Per-strategy breakout: only run traffic with a strategy is keyed.
+	if st := strategies["spillbound"]; st == nil || st.Count != 2 || st.P99Ms <= 0 {
+		t.Errorf("spillbound strategy stats off: %+v", st)
+	}
+	if st := strategies["penaltyaware"]; st == nil || st.Count != 1 {
+		t.Errorf("penaltyaware strategy stats off: %+v", st)
+	}
+	if len(strategies) != 2 {
+		t.Errorf("strategies = %d keys, want 2", len(strategies))
 	}
 }
 
@@ -92,5 +102,27 @@ func TestReportProblems(t *testing.T) {
 	bad := &report{Classes: map[string]*classStats{}}
 	if p := bad.problems(); len(p) < 5 {
 		t.Errorf("empty report should trip every check, got %v", p)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("sb, penaltyaware,minmaxregret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"spillbound", "penaltyaware", "minmaxregret"}
+	if len(mix) != len(want) {
+		t.Fatalf("mix = %v", mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Errorf("mix[%d] = %q, want %q", i, mix[i], want[i])
+		}
+	}
+	if _, err := parseMix("quantum"); err == nil {
+		t.Error("unknown strategy should be rejected")
+	}
+	if _, err := parseMix(" ,"); err == nil {
+		t.Error("empty mix should be rejected")
 	}
 }

@@ -42,7 +42,8 @@ import (
 func main() {
 	var (
 		queryName = flag.String("query", "2D_Q91", "benchmark query name (see -list)")
-		algoName  = flag.String("algo", "spillbound", "algorithm: native | planbouquet | spillbound | alignedbound")
+		algoName  = flag.String("algo", "spillbound", "strategy name (see -strategies); short aliases like sb/pb resolve but are deprecated")
+		stratList = flag.Bool("strategies", false, "list registered strategies (name, kind, guarantee) and exit")
 		truthStr  = flag.String("truth", "", "comma-separated true selectivities (default: midpoint of each dimension)")
 		res       = flag.Int("res", 0, "grid resolution override (0 = query default)")
 		profile   = flag.String("profile", "postgres", "cost profile: postgres | commercial")
@@ -68,6 +69,12 @@ func main() {
 	}
 	flag.Parse()
 
+	if *stratList {
+		for _, in := range repro.Strategies() {
+			fmt.Printf("%-14s %-10s guarantee: %s\n", in.Name, in.Kind, in.Guarantee)
+		}
+		return
+	}
 	if *list {
 		for _, name := range workload.Names() {
 			fmt.Println(name)
@@ -163,9 +170,24 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 	default:
 		return fmt.Errorf("unknown profile %q", profile)
 	}
-	algo, err := repro.ParseAlgorithm(algoName)
+	canonical, legacy, err := repro.ParseStrategyName(algoName)
 	if err != nil {
 		return err
+	}
+	if legacy {
+		fmt.Fprintf(os.Stderr, "rqp: strategy name %q is deprecated; use %q\n", algoName, canonical)
+	}
+	algo := repro.Algorithm(canonical)
+	switch algo {
+	case repro.Native, repro.PlanBouquet, repro.SpillBound, repro.AlignedBound:
+	default:
+		// Any other registered strategy (the selection family, external
+		// registrations) runs through the library session, which owns the
+		// budget-doubling ladder and its telemetry.
+		if physical >= 0 {
+			return fmt.Errorf("-physical supports planbouquet, spillbound, alignedbound")
+		}
+		return runRegistered(sp, cat, algo, truthStr, res, profile, jsonOut)
 	}
 	q, err := sp.Build(cat)
 	if err != nil {
@@ -290,6 +312,66 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 	}
 	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
 		total, optCost, total/optCost)
+	return nil
+}
+
+// runRegistered drives a non-builtin registered strategy through the full
+// library session instead of the manual discovery path above: the session
+// owns the selection strategies' budget-doubling ladder, their telemetry,
+// and the degradation ladder the CLI would otherwise have to replicate.
+func runRegistered(sp workload.Spec, cat *repro.Catalog, algo repro.Algorithm, truthStr string, res int, profile string, jsonOut bool) error {
+	opts := repro.DefaultOptions()
+	switch profile {
+	case "postgres":
+	case "commercial":
+		opts.Params = repro.CommercialProfile()
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	if res == 0 {
+		res = sp.GridRes
+	}
+	opts.GridRes = res
+	if sp.GridLo > 0 {
+		opts.GridLo = sp.GridLo
+	}
+	info := fmt.Printf
+	if jsonOut {
+		info = func(format string, args ...any) (int, error) {
+			return fmt.Fprintf(os.Stderr, format, args...)
+		}
+	}
+	info("building ESS for %s (D=%d, %d^%d grid, profile %s)...\n",
+		sp.Name, sp.D, res, sp.D, opts.Params.Name)
+	sess, err := repro.NewSession(cat, sp.SQL, sp.EPPs, opts)
+	if err != nil {
+		return err
+	}
+	info("POSP: %d plans | contours: %d\n\n", sess.POSPSize(), sess.ContourCount())
+	truth, err := parseTruth(truthStr, sess.D(), opts.GridLo)
+	if err != nil {
+		return err
+	}
+	info("true location q_a = %v\n", truth)
+	out, err := sess.RunContext(context.Background(), algo, repro.Location(truth))
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		doc := runDoc{
+			Query: sp.Name, Algorithm: algo.String(), D: sess.D(), GridRes: res,
+			Truth: truth, POSPSize: sess.POSPSize(), Contours: sess.ContourCount(),
+			TotalCost: out.TotalCost, OptimalCost: out.OptimalCost, SubOpt: out.SubOpt,
+			Trace: out.Trace, Events: out.Events,
+		}
+		if g := sess.Guarantee(algo); !math.IsInf(g, 1) {
+			doc.Guarantee = g
+		}
+		return writeRunJSON(doc)
+	}
+	fmt.Print(out.Trace)
+	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
+		out.TotalCost, out.OptimalCost, out.SubOpt)
 	return nil
 }
 

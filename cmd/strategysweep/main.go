@@ -1,0 +1,126 @@
+// Command strategysweep is the strategy-registry smoke, wired to
+// `make sweep-strategies`. It builds one 2D benchmark session, sweeps every
+// registered strategy over a shared location sample (SweepStrategies), and
+// asserts each strategy's MSO is finite and at least 1 — including the
+// selection family, whose budget-doubling ladder has no a-priori bound but
+// must still realize finite cost everywhere. Discovery strategies are
+// additionally checked against their MSO guarantees.
+//
+// It then drives a seeded error-regime scenario sweep (watchdog and
+// ESS-escape drills) for a discovery and a selection strategy and asserts
+// the guard-verdict census is populated: budget aborts in the
+// regret-correlated regime for both, ESS escapes in the adversarial regime
+// for the discovery strategy. Exit status is non-zero on any violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	repro "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("strategysweep: ")
+	var (
+		queryName = flag.String("query", "2D_EQ", "2D benchmark query")
+		gridRes   = flag.Int("res", 8, "ESS grid resolution")
+		maxLoc    = flag.Int("max", 16, "location sample per sweep (0 = exhaustive)")
+		perRegime = flag.Int("per-regime", 1, "scenarios per error regime in the census sweep")
+		seed      = flag.Int64("seed", 1, "scenario suite seed")
+	)
+	flag.Parse()
+	if err := run(*queryName, *gridRes, *maxLoc, *perRegime, *seed); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS: every registered strategy swept finite, guard census populated")
+}
+
+func run(queryName string, gridRes, maxLoc, perRegime int, seed int64) error {
+	bq, ok := repro.BenchmarkQueryByName(queryName)
+	if !ok {
+		return fmt.Errorf("unknown query %q", queryName)
+	}
+	opts := repro.BenchmarkOptions()
+	opts.GridRes = gridRes
+	log.Printf("building %s session (res %d)...", bq.Name, gridRes)
+	sess, err := repro.NewBenchmarkSession(bq, opts)
+	if err != nil {
+		return err
+	}
+	if sess.D() != 2 {
+		return fmt.Errorf("%s is %dD; the smoke needs a 2D session", bq.Name, sess.D())
+	}
+	ctx := context.Background()
+
+	// Phase 1 — every registered strategy over one shared cell sample.
+	sums, err := sess.SweepStrategies(ctx, nil, maxLoc)
+	if err != nil {
+		return err
+	}
+	if want := len(repro.StrategyNames()); len(sums) != want {
+		return fmt.Errorf("swept %d strategies, registry has %d", len(sums), want)
+	}
+	var problems []string
+	fmt.Printf("%-14s %10s %10s %10s\n", "strategy", "MSO", "ASO", "bound")
+	for _, sum := range sums {
+		g := sess.Guarantee(sum.Algorithm)
+		bound := "none"
+		if !math.IsInf(g, 1) {
+			bound = fmt.Sprintf("%.4g", g)
+		}
+		fmt.Printf("%-14s %10.4g %10.4g %10s\n", sum.Algorithm, sum.MSO, sum.ASO, bound)
+		if math.IsInf(sum.MSO, 0) || math.IsNaN(sum.MSO) || sum.MSO < 1 {
+			problems = append(problems, fmt.Sprintf("%v: MSO %g is not finite and >= 1", sum.Algorithm, sum.MSO))
+		}
+		if !math.IsInf(g, 1) && sum.MSO > g+1e-9 {
+			problems = append(problems, fmt.Sprintf("%v: MSO %g exceeds guarantee %g", sum.Algorithm, sum.MSO, g))
+		}
+	}
+
+	// Phase 2 — guard-verdict census under the error-regime suite: one
+	// discovery and one selection strategy through every scenario.
+	suite := repro.ScenarioSuite(seed, perRegime)
+	for _, tc := range []struct {
+		algo       repro.Algorithm
+		wantEscape bool // spill monitoring exists, so adversarial skew must escape
+	}{
+		{repro.SpillBound, true},
+		{repro.Algorithm("penaltyaware"), false},
+	} {
+		regimes, err := sess.SweepScenarios(ctx, tc.algo, suite, maxLoc)
+		if err != nil {
+			return fmt.Errorf("%v scenario sweep: %w", tc.algo, err)
+		}
+		for _, r := range regimes {
+			fmt.Printf("%-14s %-18s MSO %8.4g  verdicts %v  degraded %d\n",
+				tc.algo, r.Regime, r.MSO, r.GuardVerdicts, r.Degraded)
+			if math.IsInf(r.MSO, 0) || math.IsNaN(r.MSO) {
+				problems = append(problems, fmt.Sprintf("%v/%s: MSO %g not finite", tc.algo, r.Regime, r.MSO))
+			}
+			switch r.Regime {
+			case repro.RegimeCorrelated:
+				if r.GuardVerdicts["budget_abort"] == 0 {
+					problems = append(problems, fmt.Sprintf("%v/%s: no budget_abort censused", tc.algo, r.Regime))
+				}
+			case repro.RegimeAdversarial:
+				if tc.wantEscape && r.GuardVerdicts["ess_escape"] == 0 {
+					problems = append(problems, fmt.Sprintf("%v/%s: no ess_escape censused", tc.algo, r.Regime))
+				}
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAIL:", p)
+		}
+		return fmt.Errorf("%d violations", len(problems))
+	}
+	return nil
+}

@@ -36,10 +36,15 @@ func (s *Session) RunDurable(ctx context.Context, a Algorithm, truth Location, r
 	if err := s.requireStore(); err != nil {
 		return RunResult{}, err
 	}
-	if a == Native {
+	st, err := strategyFor(a)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if !st.Info().Resumable {
 		// The native baseline is a single unbudgeted execution: there is no
-		// discovery state to checkpoint and nothing to resume.
-		return RunResult{}, fmt.Errorf("repro: durable runs need a contour-budgeted algorithm; got %v", a)
+		// discovery state to checkpoint and nothing to resume. Any other
+		// non-resumable registered strategy is rejected the same way.
+		return RunResult{}, fmt.Errorf("repro: durable runs need a resumable (contour- or ladder-budgeted) strategy; got %v", a)
 	}
 	rs := runstate.RunState{
 		RunID:     runID,

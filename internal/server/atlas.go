@@ -16,7 +16,7 @@ const atlasDefaultPerRegime = 1
 
 // handleAtlas serves the per-regime robustness atlas of a ready 2D session:
 //
-//	GET /v1/atlas?session=s1[&algorithms=pb,sb][&seed=1][&perRegime=1][&max=0][&format=svg]
+//	GET /v1/atlas?session=s1[&strategies=planbouquet,spillbound][&seed=1][&perRegime=1][&max=0][&format=svg]
 //
 // The sweep runs every suite scenario at (a sample of) every ESS cell per
 // requested algorithm — it is admitted through the same overload limiter and
@@ -49,12 +49,24 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Strategy rows: the "strategies" parameter is canonical; "algorithms"
+	// is its deprecated spelling (counted like the run/sweep legacy field).
+	// Empty means the library's default row set (discovery trio + every
+	// registered selection strategy).
+	spec, legacyParam := q.Get("strategies"), false
+	if spec == "" {
+		if spec = q.Get("algorithms"); spec != "" {
+			legacyParam = true
+		}
+	}
 	var algos []repro.Algorithm
-	if spec := q.Get("algorithms"); spec != "" {
+	if spec != "" {
+		if legacyParam {
+			s.metrics.deprecated.With("field:algorithms").Inc()
+		}
 		for _, name := range strings.Split(spec, ",") {
-			a, err := repro.ParseAlgorithm(strings.TrimSpace(strings.ToLower(name)))
-			if err != nil {
-				writeError(w, http.StatusBadRequest, codeBadRequest, err)
+			a, ok := s.resolveStrategy(w, strings.TrimSpace(name), "")
+			if !ok {
 				return
 			}
 			algos = append(algos, a)

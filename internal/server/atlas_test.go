@@ -82,7 +82,8 @@ func TestAtlasEndpointValidation(t *testing.T) {
 	}{
 		{"/v1/atlas", http.StatusBadRequest, "bad_request"},
 		{"/v1/atlas?session=nope", http.StatusNotFound, "not_found"},
-		{"/v1/atlas?session=" + id + "&algorithms=quantum", http.StatusBadRequest, "bad_request"},
+		{"/v1/atlas?session=" + id + "&algorithms=quantum", http.StatusBadRequest, "unknown_strategy"},
+		{"/v1/atlas?session=" + id + "&strategies=quantum", http.StatusBadRequest, "unknown_strategy"},
 		{"/v1/atlas?session=" + id + "&seed=x", http.StatusBadRequest, "bad_request"},
 		{"/v1/atlas?session=" + id + "&perRegime=99", http.StatusBadRequest, "bad_request"},
 		{"/v1/atlas?session=" + id + "&max=-1", http.StatusBadRequest, "bad_request"},

@@ -66,6 +66,7 @@ const (
 	codeSessionBuilding = "session_building"
 	codeSessionFailed   = "session_failed"
 	codeTooManySessions = "too_many_sessions"
+	codeUnknownStrategy = "unknown_strategy"
 	codeOverloaded      = "overloaded"
 	codeTimeout         = "timeout"
 	codeCanceled        = "canceled"

@@ -13,12 +13,19 @@
 //
 //	POST /v1/sessions                  {"query":"4D_Q91","gridRes":8}   → 202 {"id","status":"building","progress":{...}}
 //	GET  /v1/sessions/{id}             session status, progress, metadata + guarantees once ready
-//	POST /v1/sessions/{id}/run         {"algorithm":"spillbound","truth":[0.8,0.008,0.05,0.6]}
-//	GET  /v1/sessions/{id}/sweep?algorithm=spillbound&max=200
+//	POST /v1/sessions/{id}/run         {"strategy":"spillbound","truth":[0.8,0.008,0.05,0.6]}
+//	GET  /v1/sessions/{id}/sweep?strategy=spillbound&max=200
 //	GET  /v1/sessions/{id}/runs        durable run resources (servers started with a data directory)
 //	GET  /v1/sessions/{id}/runs/{rid}  one durable run: full result, or checkpoint state if interrupted
+//	GET  /v1/strategies                registered strategy listing (name, kind, guarantee, params)
 //	GET  /v1/queries                   benchmark query list
 //	GET  /v1/healthz
+//
+// Run, sweep and atlas requests name their strategy through the registry
+// (see GET /v1/strategies): the "strategy" field/parameter is canonical, the
+// legacy "algorithm" spelling and the short aliases ("sb", "pb", ...) still
+// resolve but are counted into rqp_deprecated_requests_total. An unknown
+// name is rejected with the envelope code "unknown_strategy".
 //
 // A server configured with Config.DataDir is durable: sessions persist their
 // ESS and run checkpoints under per-session directories, run requests may
@@ -33,8 +40,8 @@
 //	{"error":{"code":"not_found","message":"no session \"s9\""}}
 //
 // with stable machine-readable codes: bad_request, not_found,
-// session_building, session_failed, too_many_sessions, overloaded, timeout,
-// canceled, internal. Adaptive overload control (AIMD run/build limiters,
+// unknown_strategy, session_building, session_failed, too_many_sessions,
+// overloaded, timeout, canceled, internal. Adaptive overload control (AIMD run/build limiters,
 // per-session bulkheads, a session-build circuit breaker) sheds excess work
 // with 429/503 "overloaded" responses instead of queueing it.
 //
@@ -263,6 +270,7 @@ func (s *Server) Handler() http.Handler {
 	// Durable run resources are new in /v1 and have no legacy alias.
 	v1("GET /sessions/{id}/runs", s.handleListRuns)
 	v1("GET /sessions/{id}/runs/{rid}", s.handleGetRun)
+	v1("GET /strategies", s.handleStrategies)
 	v1("GET /atlas", s.handleAtlas)
 	v1("GET /metrics", m.handleMetrics)
 	v1("GET /debug/stats", m.handleDebugStats)
@@ -655,8 +663,12 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 // runRequest is the POST /v1/sessions/{id}/run payload.
 type runRequest struct {
-	// Algorithm names the strategy (see repro.ParseAlgorithm).
-	Algorithm string `json:"algorithm"`
+	// Strategy names a registered strategy (see GET /v1/strategies).
+	Strategy string `json:"strategy"`
+	// Algorithm is the deprecated spelling of Strategy, kept for wire
+	// compatibility; requests using it count into
+	// rqp_deprecated_requests_total. Strategy wins when both are set.
+	Algorithm string `json:"algorithm,omitempty"`
 	// Truth is the actual selectivity location (one value per epp).
 	Truth []float64 `json:"truth"`
 	// Durable checkpoints the run's discovery state at every contour
@@ -710,6 +722,35 @@ type runResponse struct {
 	Resumed bool `json:"resumed,omitempty"`
 }
 
+// handleStrategies serves the strategy registry listing: every registered
+// strategy's canonical name, kind, guarantee formula, resumability and
+// tuning-knob documentation.
+func (s *Server) handleStrategies(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, repro.Strategies())
+}
+
+// resolveStrategy resolves a wire strategy name — the canonical "strategy"
+// field/parameter, falling back to the deprecated "algorithm" spelling —
+// against the registry. Legacy usage (the old field, alias or mixed-case
+// names) is counted into rqp_deprecated_requests_total; an unknown name
+// writes the uniform envelope with code "unknown_strategy".
+func (s *Server) resolveStrategy(w http.ResponseWriter, strategy, algorithm string) (repro.Algorithm, bool) {
+	name := strategy
+	if name == "" && algorithm != "" {
+		name = algorithm
+		s.metrics.deprecated.With("field:algorithm").Inc()
+	}
+	canonical, legacy, err := repro.ParseStrategyName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeUnknownStrategy, err)
+		return "", false
+	}
+	if legacy {
+		s.metrics.deprecated.With("strategy:" + canonical).Inc()
+	}
+	return repro.Algorithm(canonical), true
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.lookup(w, r)
 	if !ok {
@@ -724,9 +765,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
 		return
 	}
-	algo, err := repro.ParseAlgorithm(strings.ToLower(req.Algorithm))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	algo, ok := s.resolveStrategy(w, req.Strategy, req.Algorithm)
+	if !ok {
 		return
 	}
 	var fp *repro.FaultPlan
@@ -763,6 +803,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var res repro.RunResult
+	var err error
 	switch {
 	case req.Durable && fp != nil:
 		res, err = sess.RunDurableWithFaults(r.Context(), algo, repro.Location(req.Truth), runID, fp)
@@ -842,12 +883,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	algo, err := repro.ParseAlgorithm(strings.ToLower(r.URL.Query().Get("algorithm")))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, err)
+	algo, ok := s.resolveStrategy(w, r.URL.Query().Get("strategy"), r.URL.Query().Get("algorithm"))
+	if !ok {
 		return
 	}
 	max := 0
+	var err error
 	if v := r.URL.Query().Get("max"); v != "" {
 		max, err = strconv.Atoi(v)
 		if err != nil || max < 0 {

@@ -358,19 +358,23 @@ func TestErrorPaths(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	ts := testServer(t)
 	id := createSession(t, ts.URL, map[string]any{"query": "2D_EQ", "gridRes": 6})
-	cases := []map[string]any{
-		{"algorithm": "teleport", "truth": []float64{0.5, 0.5}},
-		{"algorithm": "spillbound", "truth": []float64{0.5}},
-		{"algorithm": "spillbound", "truth": []float64{0.5, 2.0}},
+	cases := []struct {
+		payload  map[string]any
+		wantCode string
+	}{
+		{map[string]any{"algorithm": "teleport", "truth": []float64{0.5, 0.5}}, "unknown_strategy"},
+		{map[string]any{"strategy": "teleport", "truth": []float64{0.5, 0.5}}, "unknown_strategy"},
+		{map[string]any{"strategy": "spillbound", "truth": []float64{0.5}}, "bad_request"},
+		{map[string]any{"algorithm": "spillbound", "truth": []float64{0.5, 2.0}}, "bad_request"},
 	}
-	for _, payload := range cases {
-		resp, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/run", payload)
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/run", tc.payload)
 		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("payload %v: status %d (%v)", payload, resp.StatusCode, body)
+			t.Errorf("payload %v: status %d (%v)", tc.payload, resp.StatusCode, body)
 			continue
 		}
-		if code, _ := errEnvelope(t, body); code != "bad_request" {
-			t.Errorf("payload %v: code %q", payload, code)
+		if code, _ := errEnvelope(t, body); code != tc.wantCode {
+			t.Errorf("payload %v: code %q, want %q", tc.payload, code, tc.wantCode)
 		}
 	}
 }

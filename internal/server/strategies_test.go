@@ -1,0 +1,103 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestStrategiesEndpoint checks GET /v1/strategies lists every registered
+// strategy with its kind and guarantee formula — the discovery trio, the
+// native baseline and the selection family.
+func TestStrategiesEndpoint(t *testing.T) {
+	ts := testServer(t)
+	var infos []struct {
+		Name      string            `json:"name"`
+		Kind      string            `json:"kind"`
+		Guarantee string            `json:"guarantee"`
+		Resumable bool              `json:"resumable"`
+		Params    map[string]string `json:"params"`
+	}
+	resp := getJSON(t, ts.URL+"/v1/strategies", &infos)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := map[string]string{
+		"native":        "baseline",
+		"planbouquet":   "discovery",
+		"spillbound":    "discovery",
+		"alignedbound":  "discovery",
+		"penaltyaware":  "selection",
+		"probabilistic": "selection",
+		"minmaxregret":  "selection",
+	}
+	got := map[string]string{}
+	for _, in := range infos {
+		got[in.Name] = in.Kind
+		if in.Guarantee == "" {
+			t.Errorf("%s: empty guarantee formula", in.Name)
+		}
+	}
+	for name, kind := range want {
+		if got[name] != kind {
+			t.Errorf("%s: kind %q, want %q", name, got[name], kind)
+		}
+	}
+}
+
+// TestRunStrategyFieldAndLegacyCounter runs a selection strategy through the
+// canonical "strategy" field, then exercises the deprecated "algorithm"
+// field with an alias name and checks both legacy usages are counted into
+// rqp_deprecated_requests_total.
+func TestRunStrategyFieldAndLegacyCounter(t *testing.T) {
+	ts := testServer(t)
+	id := createSession(t, ts.URL, map[string]any{"query": "2D_EQ", "gridRes": 6})
+
+	resp, body := postJSON(t, ts.URL+"/v1/sessions/"+id+"/run", map[string]any{
+		"strategy": "minmaxregret", "truth": []float64{0.02, 0.3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("strategy run status %d: %v", resp.StatusCode, body)
+	}
+	if body["algorithm"] != "minmaxregret" {
+		t.Errorf("echoed strategy %v", body["algorithm"])
+	}
+	if cost, _ := body["totalCost"].(float64); cost <= 0 {
+		t.Errorf("totalCost %v", body["totalCost"])
+	}
+	fams := scrape(t, ts.URL)
+	dep := fams["rqp_deprecated_requests_total"]
+	if n := sampleSum(dep, "", map[string]string{"route": "field:algorithm"}); n != 0 {
+		t.Errorf("canonical field counted as legacy: %v", n)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/sessions/"+id+"/run", map[string]any{
+		"algorithm": "sb", "truth": []float64{0.02, 0.3},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy run status %d: %v", resp.StatusCode, body)
+	}
+	if body["algorithm"] != "spillbound" {
+		t.Errorf("alias resolved to %v", body["algorithm"])
+	}
+	fams = scrape(t, ts.URL)
+	dep = fams["rqp_deprecated_requests_total"]
+	if n := sampleSum(dep, "", map[string]string{"route": "field:algorithm"}); n != 1 {
+		t.Errorf("legacy field count %v, want 1", n)
+	}
+	if n := sampleSum(dep, "", map[string]string{"route": "strategy:spillbound"}); n != 1 {
+		t.Errorf("legacy name count %v, want 1", n)
+	}
+
+	// The sweep handler shares the resolver: canonical parameter works, the
+	// legacy parameter spelling counts.
+	var sweep map[string]any
+	if resp := getJSON(t, ts.URL+"/v1/sessions/"+id+"/sweep?strategy=probabilistic&max=9", &sweep); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %v", resp.StatusCode, sweep)
+	}
+	if sweep["algorithm"] != "probabilistic" {
+		t.Errorf("sweep strategy %v", sweep["algorithm"])
+	}
+	if mso, _ := sweep["mso"].(float64); mso < 1 {
+		t.Errorf("sweep mso %v", sweep["mso"])
+	}
+}

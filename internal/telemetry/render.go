@@ -28,8 +28,15 @@ func RenderTrace(events []Event) string {
 			fmt.Fprintf(&b, "degraded: %s\n", ev.Detail)
 			fmt.Fprintf(&b, "degraded: falling back to native plan at estimate %s, cost %.4g\n",
 				formatLocation(ev.Location), ev.Spent)
-			fmt.Fprintf(&b, "degraded: guarantee downgraded from %.4g (%s) to +Inf (native, no MSO bound)\n",
-				ev.Guarantee, ev.Algorithm)
+			// Guarantee -1 is the JSON-safe marker for "no MSO bound" (the
+			// selection strategies); bounded strategies render the number.
+			if ev.Guarantee < 0 {
+				fmt.Fprintf(&b, "degraded: guarantee downgraded from none (%s) to +Inf (native, no MSO bound)\n",
+					ev.Algorithm)
+			} else {
+				fmt.Fprintf(&b, "degraded: guarantee downgraded from %.4g (%s) to +Inf (native, no MSO bound)\n",
+					ev.Guarantee, ev.Algorithm)
+			}
 		}
 	}
 	return b.String()

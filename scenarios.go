@@ -198,7 +198,7 @@ func (s *Session) Atlas(ctx context.Context, algos []Algorithm, suite []Scenario
 		return nil, fmt.Errorf("repro: the robustness atlas needs a 2D session, have %dD", s.D())
 	}
 	if len(algos) == 0 {
-		algos = []Algorithm{PlanBouquet, SpillBound, AlignedBound}
+		algos = defaultAtlasAlgorithms()
 	}
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("repro: empty scenario suite")
@@ -258,4 +258,20 @@ func (s *Session) Atlas(ctx context.Context, algos []Algorithm, suite []Scenario
 		}
 	}
 	return atlas, nil
+}
+
+// defaultAtlasAlgorithms is the atlas's default row set: the paper's
+// discovery trio in their canonical order, followed by every other
+// registered non-baseline strategy (the selection family, external
+// registrations) sorted by name — so new strategies grow atlas rows
+// without callers naming them.
+func defaultAtlasAlgorithms() []Algorithm {
+	algos := []Algorithm{PlanBouquet, SpillBound, AlignedBound}
+	listed := map[Algorithm]bool{Native: true, PlanBouquet: true, SpillBound: true, AlignedBound: true}
+	for _, name := range StrategyNames() {
+		if a := Algorithm(name); !listed[a] {
+			algos = append(algos, a)
+		}
+	}
+	return algos
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sync"
 
 	"repro/internal/aligned"
 	"repro/internal/bouquet"
@@ -27,46 +28,49 @@ import (
 	"repro/internal/telemetry"
 )
 
-// Algorithm selects a query processing strategy.
-type Algorithm int
+// Algorithm selects a query processing strategy. It is a thin compatibility
+// shim over the strategy registry (see strategy.go): the value IS the
+// registered strategy name, so every Algorithm-typed API accepts any
+// registered strategy, not just the built-in constants below.
+type Algorithm string
 
-// The processing strategies the library implements.
+// The built-in processing strategies (see Strategies() for the full
+// registry, including the selection strategies of selection.go).
 const (
 	// Native is the traditional optimize-then-execute baseline: pick the
 	// plan optimal at the statistics estimate and run it regardless.
-	Native Algorithm = iota
+	Native Algorithm = "native"
 	// PlanBouquet is Dutt & Haritsa's contour-budgeted discovery baseline.
-	PlanBouquet
+	PlanBouquet Algorithm = "planbouquet"
 	// SpillBound is the paper's core algorithm (MSO ≤ D²+3D).
-	SpillBound
+	SpillBound Algorithm = "spillbound"
 	// AlignedBound is the alignment-exploiting variant
 	// (MSO ∈ [2D+2, D²+3D]).
-	AlignedBound
+	AlignedBound Algorithm = "alignedbound"
 )
 
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case Native:
-		return "native"
-	case PlanBouquet:
-		return "planbouquet"
-	case SpillBound:
-		return "spillbound"
-	case AlignedBound:
-		return "alignedbound"
+// String names the algorithm: the canonical registry name.
+func (a Algorithm) String() string { return string(a) }
+
+// ParseAlgorithm resolves an algorithm name (as produced by String) against
+// the strategy registry, accepting legacy aliases ("sb", "pb", ...) and
+// non-canonical casing; use ParseStrategyName to detect legacy spellings.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	canonical, _, err := ParseStrategyName(name)
+	if err != nil {
+		return "", err
 	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
+	return Algorithm(canonical), nil
 }
 
-// ParseAlgorithm resolves an algorithm name (as produced by String).
-func ParseAlgorithm(name string) (Algorithm, error) {
-	for _, a := range []Algorithm{Native, PlanBouquet, SpillBound, AlignedBound} {
-		if a.String() == name {
-			return a, nil
-		}
+// strategyFor resolves the Algorithm shim to its registered strategy. Exact
+// canonical values (the common path: the built-in constants, names already
+// resolved by ParseAlgorithm) avoid the alias fold.
+func strategyFor(a Algorithm) (Strategy, error) {
+	if st, ok := LookupStrategy(string(a)); ok {
+		return st, nil
 	}
-	return 0, fmt.Errorf("repro: unknown algorithm %q", name)
+	return ParseStrategy(string(a))
 }
 
 // Options configures a Session.
@@ -148,6 +152,13 @@ type Session struct {
 	diag  *bouquet.Diagram
 	opt   *optimizer.Shared
 	store *runstate.Store // non-nil iff Options.DataDir was set
+
+	// selMu guards selections, the per-session memo of the selection
+	// strategies' plan choices (see selection.go): registered strategy
+	// values are shared across sessions, so their per-session state lives
+	// here, computed once and reused by runs and sweeps alike.
+	selMu      sync.Mutex
+	selections map[string]selectionChoice
 }
 
 // NewSession parses and binds the SQL against the catalog, marks the given
@@ -289,19 +300,16 @@ func (s *Session) ContourCount() int { return len(s.space.ContourCosts(s.opts.Co
 // selectivity estimate for the epps.
 func (s *Session) EstimateLocation() Location { return s.model.EstimateLocation() }
 
-// Guarantee returns the algorithm's MSO guarantee for this session:
+// Guarantee returns the strategy's MSO guarantee for this session:
 // PlanBouquet's behavioral 4(1+λ)ρ, SpillBound's structural D²+3D,
-// AlignedBound's worst-case D²+3D, and +Inf (none) for the native baseline.
+// AlignedBound's worst-case D²+3D, and +Inf (none) for the native baseline,
+// the selection strategies, and unregistered names.
 func (s *Session) Guarantee(a Algorithm) float64 {
-	switch a {
-	case PlanBouquet:
-		return s.diag.Guarantee(s.space.ContourCosts(s.opts.ContourRatio))
-	case SpillBound:
-		return spillbound.Guarantee(s.D())
-	case AlignedBound:
-		return aligned.GuaranteeUpper(s.D())
+	st, err := strategyFor(a)
+	if err != nil {
+		return math.Inf(1)
 	}
-	return math.Inf(1)
+	return st.Guarantee(s)
 }
 
 // GuaranteeLowerAB returns AlignedBound's aligned-case bound 2D+2.
@@ -430,6 +438,10 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
+	st, err := strategyFor(a)
+	if err != nil {
+		return RunResult{}, err
+	}
 	opt, err := s.optimalCost(truth)
 	if err != nil {
 		return RunResult{}, err
@@ -470,53 +482,9 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 		}
 	}
 
-	var runErr error
-	switch a {
-	case Native:
-		p, err := s.nativePlan()
-		if err != nil {
-			return RunResult{}, err
-		}
-		res.TotalCost = s.model.Eval(p, truth)
-		rec.Record(telemetry.Event{
-			Kind: telemetry.PlanExec, Dim: -1, Mode: "native",
-			Location: s.EstimateLocation(), Spent: res.TotalCost, Completed: true,
-		})
-	case PlanBouquet:
-		// PlanBouquet's monotone state is the contour index alone (no
-		// half-space pruning), so resume reduces to a later start contour.
-		startContour := 0
-		if resume != nil {
-			startContour = resume.Contour
-			if n := len(s.space.ContourCosts(s.opts.ContourRatio)); startContour > n-1 {
-				startContour = n - 1
-			}
-		}
-		out, rerr := bouquet.RunSubspaceContext(ctx, s.space, s.diag, rex,
-			s.space.ContourCosts(s.opts.ContourRatio), startContour, s.space.Full(), 1+s.opts.ReductionLambda)
-		runErr = rerr
-		res.TotalCost = out.TotalCost
-		for _, st := range out.Steps {
-			res.Steps = append(res.Steps, ExecutionStep{
-				Contour: st.Contour + 1, SpillDim: -1, PlanID: st.PlanID,
-				Budget: st.Budget, Spent: st.Spent, Completed: st.Completed,
-			})
-		}
-	case SpillBound:
-		out, rerr := (&spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio, Resume: resume}).RunContext(ctx, rex)
-		runErr = rerr
-		res.TotalCost = out.TotalCost
-		res.Steps = convertSteps(out.Executions)
-	case AlignedBound:
-		out, rerr := (&aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio, Resume: resume}).RunContext(ctx, rex)
-		runErr = rerr
-		res.TotalCost = out.TotalCost
-		for _, x := range out.Executions {
-			res.Steps = append(res.Steps, stepFrom(x.Execution))
-		}
-	default:
-		return RunResult{}, fmt.Errorf("repro: unknown algorithm %v", a)
-	}
+	out, runErr := st.Run(ctx, &StrategyRun{sess: s, rex: rex, truth: truth, resume: resume, rec: rec})
+	res.TotalCost = out.TotalCost
+	res.Steps = out.Steps
 	res.TotalCost += base
 	if runErr != nil {
 		if faults.IsCrash(runErr) {
@@ -594,10 +562,17 @@ func (s *Session) degrade(rec *telemetry.Recorder, res RunResult, a Algorithm, t
 	nat := s.model.Eval(p, truth)
 	res.TotalCost += nat
 	res.SubOpt = res.TotalCost / res.OptimalCost
+	// Strategies without an MSO bound (the selection family) degrade with
+	// Guarantee -1 — the event stream's JSON-safe "none" marker, mirroring
+	// Budget -1 for unbudgeted executions.
+	g := s.Guarantee(a)
+	if math.IsInf(g, 1) {
+		g = -1
+	}
 	rec.Record(telemetry.Event{
 		Kind: telemetry.Degrade, Dim: -1, Detail: cause.Error(),
 		Location: s.EstimateLocation(), Spent: nat,
-		Guarantee: s.Guarantee(a), Algorithm: a.String(),
+		Guarantee: g, Algorithm: a.String(),
 	})
 	return finishRun(rec, res, true), nil
 }
@@ -652,31 +627,11 @@ func (s *Session) Sweep(a Algorithm, maxLocations int) (SweepSummary, error) {
 // serial sweep regardless of worker count, and sampled sweeps draw their
 // locations from Options.SweepSeed.
 func (s *Session) SweepContext(ctx context.Context, a Algorithm, maxLocations int) (SweepSummary, error) {
-	var run metrics.RunFunc
-	switch a {
-	case Native:
-		est := s.EstimateLocation()
-		run = func(truth Location) float64 {
-			g := s.space.Grid
-			idx := make([]int, g.D)
-			for d := range idx {
-				idx[d] = g.CeilIndex(d, est[d])
-			}
-			return s.model.Eval(s.space.PlanAt(g.Flatten(idx)), truth)
-		}
-	case PlanBouquet:
-		run = func(truth Location) float64 {
-			return bouquet.Run(s.diag, engine.New(s.model, truth), s.opts.ContourRatio).TotalCost
-		}
-	case SpillBound:
-		r := &spillbound.Runner{Space: s.space, Ratio: s.opts.ContourRatio}
-		run = func(truth Location) float64 { return r.Run(engine.New(s.model, truth)).TotalCost }
-	case AlignedBound:
-		r := &aligned.Runner{Space: s.space, Ratio: s.opts.ContourRatio}
-		run = func(truth Location) float64 { return r.Run(engine.New(s.model, truth)).TotalCost }
-	default:
-		return SweepSummary{}, fmt.Errorf("repro: unknown algorithm %v", a)
+	st, err := strategyFor(a)
+	if err != nil {
+		return SweepSummary{}, err
 	}
+	run := metrics.RunFunc(st.SweepRun(s))
 	res, err := metrics.SweepContext(ctx, s.space, run, metrics.SweepOptions{
 		MaxLocations: maxLocations,
 		Seed:         s.opts.sweepSeed(),
@@ -690,6 +645,51 @@ func (s *Session) SweepContext(ctx context.Context, a Algorithm, maxLocations in
 		sum.WorstLocation = s.space.Grid.Location(res.MSOCell)
 	}
 	return sum, nil
+}
+
+// SweepStrategies evaluates several strategies' MSO/ASO over one shared
+// location sample (identical truth cells per strategy, including under
+// subsampling), returning one summary per requested strategy in request
+// order. Names resolve like ParseAlgorithm (legacy aliases accepted);
+// duplicates collapse to their first occurrence. An empty names slice
+// sweeps every registered strategy, sorted by name — the comparison the
+// `make sweep-strategies` smoke and the strategy-breadth experiments run.
+func (s *Session) SweepStrategies(ctx context.Context, names []string, maxLocations int) ([]SweepSummary, error) {
+	if len(names) == 0 {
+		names = StrategyNames()
+	}
+	runs := make(map[string]metrics.RunFunc, len(names))
+	order := make([]string, 0, len(names))
+	for _, name := range names {
+		canonical, _, err := ParseStrategyName(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := runs[canonical]; dup {
+			continue
+		}
+		st, _ := LookupStrategy(canonical)
+		runs[canonical] = st.SweepRun(s)
+		order = append(order, canonical)
+	}
+	results, err := metrics.SweepManyContext(ctx, s.space, runs, metrics.SweepOptions{
+		MaxLocations: maxLocations,
+		Seed:         s.opts.sweepSeed(),
+		Workers:      s.opts.workers(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: sweep aborted: %w", err)
+	}
+	out := make([]SweepSummary, 0, len(order))
+	for _, name := range order {
+		res := results[name]
+		sum := SweepSummary{Algorithm: Algorithm(name), MSO: res.MSO, ASO: res.ASO, Locations: len(res.Cells)}
+		if res.MSOCell >= 0 {
+			sum.WorstLocation = s.space.Grid.Location(res.MSOCell)
+		}
+		out = append(out, sum)
+	}
+	return out, nil
 }
 
 // NativeMSO returns the native baseline's MSO maximized over both the

@@ -2,7 +2,6 @@ package repro
 
 import (
 	"math"
-	"strings"
 	"testing"
 )
 
@@ -117,7 +116,7 @@ func TestRunValidation(t *testing.T) {
 	if _, err := sess.Run(SpillBound, Location{0.5, 1.5}); err == nil {
 		t.Error("selectivity above 1 should error")
 	}
-	if _, err := sess.Run(Algorithm(99), Location{0.5, 0.5}); err == nil {
+	if _, err := sess.Run(Algorithm("bogus"), Location{0.5, 0.5}); err == nil {
 		t.Error("unknown algorithm should error")
 	}
 }
@@ -147,7 +146,7 @@ func TestSweepOrdering(t *testing.T) {
 	if capped.Locations != 20 {
 		t.Errorf("capped sweep locations = %d", capped.Locations)
 	}
-	if _, err := sess.Sweep(Algorithm(99), 0); err == nil {
+	if _, err := sess.Sweep(Algorithm("bogus"), 0); err == nil {
 		t.Error("unknown algorithm should error")
 	}
 }
@@ -171,8 +170,12 @@ func TestAlgorithmNames(t *testing.T) {
 	if _, err := ParseAlgorithm("nope"); err == nil {
 		t.Error("ParseAlgorithm(nope) should fail")
 	}
-	if !strings.Contains(Algorithm(42).String(), "42") {
-		t.Error("unknown algorithm String should include value")
+	if Algorithm("bogus").String() != "bogus" {
+		t.Error("Algorithm String should echo the registry name")
+	}
+	// Legacy aliases resolve (flagged legacy) for wire compatibility.
+	if got, err := ParseAlgorithm("SB"); err != nil || got != SpillBound {
+		t.Errorf("ParseAlgorithm(SB) = %v, %v", got, err)
 	}
 }
 
