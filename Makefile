@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke atlas fuzz clean
+.PHONY: all build test race vet chaos resume-chaos bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke trace-smoke atlas fuzz clean
 
 all: vet build test
 
@@ -74,6 +74,15 @@ overload-smoke:
 # fired — watchdog abort, ESS escape, shed, breaker — with no goroutine leak.
 replay-smoke:
 	$(GO) run ./cmd/replay -duration 30s -rate 20 -check -o replay-report.json
+
+# trace-smoke boots rqpd and walks the correlation contract end to end: a
+# run fired with a caller traceparent must echo it (header, X-Request-ID,
+# run document), serve sound run and build span trees at
+# /v1/runs/{traceID}/trace, render a well-formed flamegraph SVG, carry the
+# trace ID in the error envelope, and attach trace-ID exemplars to the
+# OpenMetrics exposition.
+trace-smoke:
+	$(GO) run ./cmd/tracesmoke
 
 # atlas renders the per-regime robustness atlas for the motivating example
 # query (suboptimality heat over the ESS with guardrail-intervention

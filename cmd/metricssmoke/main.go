@@ -151,8 +151,13 @@ func checkFamilies(base string) error {
 		"rqp_runs_total",
 		"rqp_suboptimality",
 		"rqp_session_builds_total",
+		"rqp_session_build_duration_seconds",
 		"rqp_sessions",
+		"rqp_sessions_active",
 		"rqp_checkpoints_total",
+		"rqp_trace_spans_total",
+		"rqp_goroutines",
+		"rqp_heap_bytes",
 	} {
 		f, ok := fams[want]
 		if !ok {

@@ -7,20 +7,24 @@
 // burst past the run ceiling (shed drill) and a run of consecutive
 // CHAOS_FAIL session builds (circuit-breaker drill).
 //
-// The harness measures per-class p50/p95/p99 latency, status counts, and a
-// guardrail census (watchdog aborts, ESS escapes, sheds, breaker
-// rejections), cross-checks the census against the daemon's own
-// /v1/metrics exposition, and emits a machine-readable JSON report. With
-// -check it exits non-zero unless every guardrail class fired at least
-// once, p99 latency was recorded for the run class, and the goroutine
-// count settled back to its pre-replay baseline (no leaked handlers).
+// The harness measures per-class p50/p95/p99 latency, status counts, a
+// per-class phase breakdown derived from each run response's typed event
+// stream (exec vs spill vs degraded cost units, checkpoint and retry
+// counts), and a guardrail census (watchdog aborts, ESS escapes, sheds,
+// breaker rejections), cross-checks the census against the daemon's own
+// /v1/metrics exposition, and emits a machine-readable JSON report. Every
+// response — successes and sheds alike — must carry a valid W3C
+// Traceparent and an X-Request-ID; violations are counted. With -check it
+// exits non-zero unless every guardrail class fired at least once, p99
+// latency was recorded for the run class, zero traceparent violations were
+// seen, and the goroutine count settled back to its pre-replay baseline
+// (no leaked handlers).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math"
 	"math/rand"
@@ -34,6 +38,8 @@ import (
 
 	repro "repro"
 	"repro/internal/smoke"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 const breakerThreshold = 3
@@ -119,14 +125,18 @@ type report struct {
 }
 
 type guardrails struct {
-	WatchdogAborts     int  `json:"watchdog_aborts"`
-	ESSEscapes         int  `json:"ess_escapes"`
-	Sheds              int  `json:"sheds"`
-	BreakerRejections  int  `json:"breaker_rejections"`
-	BreakerOpened      bool `json:"breaker_opened"`
-	Crashes            int  `json:"crashes"`
-	DegradedFallbacks  int  `json:"degraded_fallbacks"`
-	UnexpectedFailures int  `json:"unexpected_failures"`
+	WatchdogAborts    int  `json:"watchdog_aborts"`
+	ESSEscapes        int  `json:"ess_escapes"`
+	Sheds             int  `json:"sheds"`
+	BreakerRejections int  `json:"breaker_rejections"`
+	BreakerOpened     bool `json:"breaker_opened"`
+	Crashes           int  `json:"crashes"`
+	DegradedFallbacks int  `json:"degraded_fallbacks"`
+	// TraceparentViolations counts responses — sheds and breaker rejections
+	// included — that failed the correlation contract: a missing/invalid
+	// Traceparent header or a missing X-Request-ID.
+	TraceparentViolations int `json:"traceparent_violations"`
+	UnexpectedFailures    int `json:"unexpected_failures"`
 }
 
 type daemonView struct {
@@ -148,8 +158,63 @@ type classStats struct {
 	P50Ms    float64        `json:"p50_ms"`
 	P95Ms    float64        `json:"p95_ms"`
 	P99Ms    float64        `json:"p99_ms"`
+	// Phases is the class's run-phase breakdown, present once at least one
+	// completed run contributed an event stream.
+	Phases *phaseStats `json:"phases,omitempty"`
 
 	lat []float64
+}
+
+// phaseStats is the per-class phase breakdown derived from run responses'
+// typed event streams: where the class's budget went (regular executions,
+// spill executions, the native fallback), and how often the resilience and
+// durability layers fired. Costs are in the abstract cost-ledger units the
+// paper's budgets are denominated in, not wall time.
+type phaseStats struct {
+	Runs        int     `json:"runs"`
+	ExecCost    float64 `json:"exec_cost"`
+	SpillCost   float64 `json:"spill_cost"`
+	DegradeCost float64 `json:"degrade_cost"`
+	Checkpoints int     `json:"checkpoints"`
+	Retries     int     `json:"retries"`
+	Guard       int     `json:"guard_interventions"`
+}
+
+// phasesOf folds one run's event stream into its phase contribution.
+func phasesOf(events []telemetry.Event) phaseStats {
+	var p phaseStats
+	if len(events) == 0 {
+		return p
+	}
+	p.Runs = 1
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.PlanExec:
+			p.ExecCost += ev.Spent
+		case telemetry.SpillExec:
+			p.SpillCost += ev.Spent
+		case telemetry.Degrade:
+			p.DegradeCost += ev.Spent
+		case telemetry.CheckpointSave:
+			p.Checkpoints++
+		case telemetry.Retry:
+			p.Retries++
+		case telemetry.BudgetAbort, telemetry.ESSEscape:
+			p.Guard++
+		}
+	}
+	return p
+}
+
+// add accumulates another run's contribution.
+func (p *phaseStats) add(q phaseStats) {
+	p.Runs += q.Runs
+	p.ExecCost += q.ExecCost
+	p.SpillCost += q.SpillCost
+	p.DegradeCost += q.DegradeCost
+	p.Checkpoints += q.Checkpoints
+	p.Retries += q.Retries
+	p.Guard += q.Guard
 }
 
 // problems lists every -check violation (empty = pass). The required
@@ -171,6 +236,9 @@ func (r *report) problems() []string {
 	}
 	if r.Guardrails.UnexpectedFailures > 0 {
 		out = append(out, fmt.Sprintf("%d requests failed outside the overload/guard contract", r.Guardrails.UnexpectedFailures))
+	}
+	if r.Guardrails.TraceparentViolations > 0 {
+		out = append(out, fmt.Sprintf("%d responses without a valid Traceparent/X-Request-ID", r.Guardrails.TraceparentViolations))
 	}
 	if cs := r.Classes["run"]; cs == nil || cs.P99Ms <= 0 {
 		out = append(out, "no p99 latency recorded for the run class")
@@ -194,9 +262,11 @@ func newRecorder() *recorder {
 }
 
 // observe records one finished request: its class, the strategy it ran (""
-// for non-run traffic), coarse outcome label, wire latency, and (for runs)
-// the guard verdict.
-func (rec *recorder) observe(class, strategy, outcome string, latency time.Duration, verdict string) {
+// for non-run traffic), coarse outcome label, wire latency, the run's event
+// stream (nil for non-run traffic; folded into the class's phase breakdown),
+// and (for runs) the guard verdict.
+func (rec *recorder) observe(class, strategy, outcome string, latency time.Duration, events []telemetry.Event, verdict string) {
+	phases := phasesOf(events)
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
 	record := func(m map[string]*classStats, key string) {
@@ -208,6 +278,12 @@ func (rec *recorder) observe(class, strategy, outcome string, latency time.Durat
 		cs.Count++
 		cs.Statuses[outcome]++
 		cs.lat = append(cs.lat, float64(latency)/float64(time.Millisecond))
+		if phases.Runs > 0 {
+			if cs.Phases == nil {
+				cs.Phases = &phaseStats{}
+			}
+			cs.Phases.add(phases)
+		}
 	}
 	record(rec.classes, class)
 	if strategy != "" {
@@ -229,6 +305,19 @@ func (rec *recorder) observe(class, strategy, outcome string, latency time.Durat
 	case "crashed":
 		rec.guard.Crashes++
 	}
+}
+
+// observeTraceparent enforces the correlation contract on one response:
+// every response, shed or success, must carry a parseable Traceparent and a
+// non-empty X-Request-ID.
+func (rec *recorder) observeTraceparent(h http.Header) {
+	_, err := trace.Parse(h.Get("Traceparent"))
+	if err == nil && h.Get("X-Request-ID") != "" {
+		return
+	}
+	rec.mu.Lock()
+	rec.guard.TraceparentViolations++
+	rec.mu.Unlock()
 }
 
 func (rec *recorder) snapshot() (classes, strategies map[string]*classStats, guard guardrails) {
@@ -422,11 +511,14 @@ func run(duration time.Duration, rate float64, seed int64, mix []string) (*repor
 
 // fire executes one traffic event and records its outcome. Contract
 // outcomes: ok (200), shed (429), breaker (503), timeout (504); anything
-// else is an unexpected failure.
+// else is an unexpected failure. Every response's correlation headers are
+// checked regardless of outcome.
 func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 	var (
 		status  int
+		headers http.Header
 		verdict string
+		events  []telemetry.Event
 		err     error
 	)
 	start := time.Now()
@@ -434,26 +526,31 @@ func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 	case ev.build:
 		// A tiny real build: exercises the build limiter and keeps the
 		// breaker's consecutive-failure count at zero during mixed traffic.
-		status, _, err = do(http.MethodPost, base+"/v1/sessions", `{"query":"2D_EQ","gridRes":4}`)
+		status, headers, _, err = do(http.MethodPost, base+"/v1/sessions", `{"query":"2D_EQ","gridRes":4}`)
 		if status == http.StatusAccepted || status == http.StatusCreated {
 			status = http.StatusOK
 		}
 	case ev.body != "":
 		var body []byte
-		status, body, err = do(http.MethodPost, base+"/v1/sessions/"+sessionID+"/run", ev.body)
+		status, headers, body, err = do(http.MethodPost, base+"/v1/sessions/"+sessionID+"/run", ev.body)
 		if status == http.StatusOK {
 			var doc struct {
-				GuardVerdict string `json:"guardVerdict"`
+				GuardVerdict string            `json:"guardVerdict"`
+				Events       []telemetry.Event `json:"events"`
 			}
 			if json.Unmarshal(body, &doc) == nil {
 				verdict = doc.GuardVerdict
+				events = doc.Events
 			}
 		}
 	default:
-		status, _, err = do(http.MethodGet,
+		status, headers, _, err = do(http.MethodGet,
 			fmt.Sprintf("%s/v1/sessions/%s/sweep?algorithm=spillbound&max=%d", base, sessionID, ev.sweepMax), "")
 	}
 	latency := time.Since(start)
+	if err == nil {
+		rec.observeTraceparent(headers)
+	}
 	outcome := "error"
 	switch {
 	case err != nil:
@@ -466,7 +563,7 @@ func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 	case status == http.StatusGatewayTimeout:
 		outcome = "timeout"
 	}
-	rec.observe(ev.class, ev.strategy, outcome, latency, verdict)
+	rec.observe(ev.class, ev.strategy, outcome, latency, events, verdict)
 }
 
 // breakerDrill runs breakerThreshold consecutive CHAOS_FAIL builds (each
@@ -476,10 +573,11 @@ func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 func breakerDrill(base string, rec *recorder) error {
 	for i := 0; i < breakerThreshold; i++ {
 		start := time.Now()
-		status, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
+		status, headers, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
 		if err != nil {
 			return fmt.Errorf("chaos build %d: %w", i+1, err)
 		}
+		rec.observeTraceparent(headers)
 		if status != http.StatusAccepted {
 			return fmt.Errorf("chaos build %d: status %d: %s (breaker opened early?)", i+1, status, body)
 		}
@@ -495,20 +593,23 @@ func breakerDrill(base string, rec *recorder) error {
 		}); err != nil {
 			return err
 		}
-		rec.observe("build:chaos", "", "build_failed", time.Since(start), "")
+		rec.observe("build:chaos", "", "build_failed", time.Since(start), nil, "")
 	}
 	start := time.Now()
-	status, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
+	status, headers, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
 	if err != nil {
 		return err
 	}
+	// The breaker's 503 must be correlatable too — that is the point of
+	// stamping headers in the outermost middleware.
+	rec.observeTraceparent(headers)
 	latency := time.Since(start)
 	if status != http.StatusServiceUnavailable {
-		rec.observe("build:chaos", "", "error", latency, "")
+		rec.observe("build:chaos", "", "error", latency, nil, "")
 		return fmt.Errorf("create after %d consecutive build failures: status %d (want 503 from the open breaker): %s",
 			breakerThreshold, status, body)
 	}
-	rec.observe("build:chaos", "", "breaker", latency, "")
+	rec.observe("build:chaos", "", "breaker", latency, nil, "")
 	return nil
 }
 
@@ -550,21 +651,8 @@ func scrapeDaemon(base string) (*daemonView, error) {
 	return out, nil
 }
 
-// do issues one request and returns (status, body, error). Latency is the
-// caller's business so retries never hide in the measurement.
-func do(method, url, body string) (int, []byte, error) {
-	req, err := http.NewRequest(method, url, strings.NewReader(body))
-	if err != nil {
-		return 0, nil, err
-	}
-	if body != "" {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	b, err := io.ReadAll(resp.Body)
-	return resp.StatusCode, b, err
+// do issues one request and returns (status, headers, body, error). Latency
+// is the caller's business so retries never hide in the measurement.
+func do(method, url, body string) (int, http.Header, []byte, error) {
+	return smoke.Do(method, url, body)
 }

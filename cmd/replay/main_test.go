@@ -2,8 +2,11 @@ package main
 
 import (
 	"math/rand"
+	"net/http"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 func TestPercentileNearestRank(t *testing.T) {
@@ -58,11 +61,19 @@ func TestPickIsSeedDeterministic(t *testing.T) {
 
 func TestRecorderCensus(t *testing.T) {
 	rec := newRecorder()
-	rec.observe("run", "spillbound", "ok", 5*time.Millisecond, "budget_abort")
-	rec.observe("run", "penaltyaware", "ok", 10*time.Millisecond, "ess_escape")
-	rec.observe("run", "spillbound", "shed", time.Millisecond, "")
-	rec.observe("build:chaos", "", "breaker", time.Millisecond, "")
-	rec.observe("sweep", "", "error", time.Millisecond, "")
+	events := []telemetry.Event{
+		{Kind: telemetry.PlanExec, Spent: 10},
+		{Kind: telemetry.SpillExec, Spent: 4},
+		{Kind: telemetry.Retry},
+		{Kind: telemetry.CheckpointSave},
+		{Kind: telemetry.BudgetAbort},
+		{Kind: telemetry.Done},
+	}
+	rec.observe("run", "spillbound", "ok", 5*time.Millisecond, events, "budget_abort")
+	rec.observe("run", "penaltyaware", "ok", 10*time.Millisecond, nil, "ess_escape")
+	rec.observe("run", "spillbound", "shed", time.Millisecond, nil, "")
+	rec.observe("build:chaos", "", "breaker", time.Millisecond, nil, "")
+	rec.observe("sweep", "", "error", time.Millisecond, nil, "")
 	classes, strategies, guard := rec.snapshot()
 	if guard.WatchdogAborts != 1 || guard.ESSEscapes != 1 || guard.Sheds != 1 ||
 		guard.BreakerRejections != 1 || guard.UnexpectedFailures != 1 {
@@ -71,6 +82,15 @@ func TestRecorderCensus(t *testing.T) {
 	cs := classes["run"]
 	if cs == nil || cs.Count != 3 || cs.Statuses["ok"] != 2 || cs.Statuses["shed"] != 1 {
 		t.Errorf("run class off: %+v", cs)
+	}
+	// Phase breakdown: only the run with an event stream contributes, and
+	// its costs land in the right buckets.
+	if p := cs.Phases; p == nil || p.Runs != 1 || p.ExecCost != 10 || p.SpillCost != 4 ||
+		p.Retries != 1 || p.Checkpoints != 1 || p.Guard != 1 {
+		t.Errorf("run phase breakdown off: %+v", cs.Phases)
+	}
+	if classes["sweep"].Phases != nil {
+		t.Errorf("sweep class should carry no phase breakdown: %+v", classes["sweep"].Phases)
 	}
 	if cs.P50Ms <= 0 || cs.P99Ms < cs.P50Ms {
 		t.Errorf("percentiles off: p50=%g p99=%g", cs.P50Ms, cs.P99Ms)
@@ -84,6 +104,25 @@ func TestRecorderCensus(t *testing.T) {
 	}
 	if len(strategies) != 2 {
 		t.Errorf("strategies = %d keys, want 2", len(strategies))
+	}
+}
+
+func TestRecorderTraceparent(t *testing.T) {
+	rec := newRecorder()
+	good := http.Header{}
+	good.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	good.Set("X-Request-ID", "4bf92f3577b34da6a3ce929d0e0e4736")
+	rec.observeTraceparent(good)
+	garbled := http.Header{}
+	garbled.Set("Traceparent", "not-a-traceparent")
+	rec.observeTraceparent(garbled)
+	noRequestID := http.Header{}
+	noRequestID.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	rec.observeTraceparent(noRequestID)
+	_, _, guard := rec.snapshot()
+	if guard.TraceparentViolations != 2 {
+		t.Errorf("traceparent violations = %d, want 2 (garbled header + missing request id)",
+			guard.TraceparentViolations)
 	}
 }
 

@@ -35,6 +35,7 @@ import (
 	"repro/internal/rowexec"
 	"repro/internal/spillbound"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/viz"
 	"repro/internal/workload"
 )
@@ -53,6 +54,7 @@ func main() {
 		explain   = flag.Bool("explain", false, "print the optimal plan at q_a with per-operator rows/costs and its pipeline decomposition")
 		physical  = flag.Int64("physical", -1, "execute on the row engine with this per-relation row cap (0 = catalog cardinality); truth is then emergent from the data")
 		jsonOut   = flag.Bool("json", false, "emit the run as one JSON document (typed telemetry events instead of the textual trace)")
+		spansOut  = flag.Bool("trace", false, "print the structural span tree derived from the run's telemetry (the same tree rqpd serves at /v1/runs/{traceID}/trace)")
 		sqlText   = flag.String("sql", "", "process a custom SQL query instead of a benchmark one (requires -catalog unless the TPC-DS schema suffices)")
 		catPath   = flag.String("catalog", "", "JSON catalog file for -sql (default: TPC-DS at -sf)")
 		eppsFlag  = flag.String("epps", "", "semicolon-separated error-prone join predicates for -sql (default: auto-identified, up to -d of them)")
@@ -87,22 +89,34 @@ func main() {
 	}
 
 	if *sqlText != "" {
-		if err := runCustom(*sqlText, *catPath, *eppsFlag, *dFlag, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut); err != nil {
+		if err := runCustom(*sqlText, *catPath, *eppsFlag, *dFlag, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut, *spansOut); err != nil {
 			fmt.Fprintln(os.Stderr, "rqp:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*queryName, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut); err != nil {
+	if err := run(*queryName, *algoName, *truthStr, *res, *profile, *sf, *plot, *explain, *physical, *jsonOut, *spansOut); err != nil {
 		fmt.Fprintln(os.Stderr, "rqp:", err)
 		os.Exit(1)
 	}
 }
 
+// printSpanTree renders the structural span tree derived from the run's
+// event stream — the CLI twin of rqpd's GET /v1/runs/{traceID}/trace. The
+// tree's shape and span IDs are deterministic given the trace ID; a local
+// run without one gets a fresh random trace identity.
+func printSpanTree(traceID string, events []telemetry.Event) {
+	if traceID == "" {
+		traceID = trace.New().TraceID
+	}
+	fmt.Println("\nspan tree:")
+	fmt.Print(trace.RenderText(trace.FromRun(traceID, events)))
+}
+
 // runCustom processes a user-supplied SQL query: load (or default) the
 // catalog, resolve or auto-identify the epps, synthesize a workload spec
 // and reuse the benchmark path.
-func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut bool) error {
+func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut, spansOut bool) error {
 	var cat *repro.Catalog
 	if catPath != "" {
 		f, err := os.Open(catPath)
@@ -139,10 +153,10 @@ func runCustom(sqlText, catPath, eppsFlag string, d int, algoName, truthStr stri
 		Name: "custom", D: len(epps), SQL: sqlText, EPPs: epps,
 		GridRes: res, GridLo: 1e-6,
 	}
-	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut)
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut, spansOut)
 }
 
-func run(queryName, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut bool) error {
+func run(queryName, algoName, truthStr string, res int, profile string, sf float64, plot, explain bool, physical int64, jsonOut, spansOut bool) error {
 	sp, ok := workload.ByName(queryName)
 	if !ok {
 		return fmt.Errorf("unknown query %q (use -list)", queryName)
@@ -156,11 +170,11 @@ func run(queryName, algoName, truthStr string, res int, profile string, sf float
 	default:
 		cat = repro.TPCDSCatalog(sf)
 	}
-	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut)
+	return runSpec(sp, cat, algoName, truthStr, res, profile, plot, explain, physical, jsonOut, spansOut)
 }
 
 // runSpec drives one spec over one catalog.
-func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, res int, profile string, plot, explain bool, physical int64, jsonOut bool) error {
+func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, res int, profile string, plot, explain bool, physical int64, jsonOut, spansOut bool) error {
 	var params cost.Params
 	switch profile {
 	case "postgres":
@@ -187,7 +201,7 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 		if physical >= 0 {
 			return fmt.Errorf("-physical supports planbouquet, spillbound, alignedbound")
 		}
-		return runRegistered(sp, cat, algo, truthStr, res, profile, jsonOut)
+		return runRegistered(sp, cat, algo, truthStr, res, profile, jsonOut, spansOut)
 	}
 	q, err := sp.Build(cat)
 	if err != nil {
@@ -220,7 +234,7 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 		len(s.Plans()), len(costs), s.MinCost(), s.MaxCost())
 
 	if physical >= 0 {
-		return runPhysical(sp, q, m, s, algo, physical, jsonOut)
+		return runPhysical(sp, q, m, s, algo, physical, jsonOut, spansOut)
 	}
 	truth, err := parseTruth(truthStr, q.D(), sp.GridLo)
 	if err != nil {
@@ -310,6 +324,9 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 	} else {
 		fmt.Print(telemetry.RenderTrace(events))
 	}
+	if spansOut {
+		printSpanTree("", events)
+	}
 	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
 		total, optCost, total/optCost)
 	return nil
@@ -319,7 +336,7 @@ func runSpec(sp workload.Spec, cat *repro.Catalog, algoName, truthStr string, re
 // library session instead of the manual discovery path above: the session
 // owns the selection strategies' budget-doubling ladder, their telemetry,
 // and the degradation ladder the CLI would otherwise have to replicate.
-func runRegistered(sp workload.Spec, cat *repro.Catalog, algo repro.Algorithm, truthStr string, res int, profile string, jsonOut bool) error {
+func runRegistered(sp workload.Spec, cat *repro.Catalog, algo repro.Algorithm, truthStr string, res int, profile string, jsonOut, spansOut bool) error {
 	opts := repro.DefaultOptions()
 	switch profile {
 	case "postgres":
@@ -370,6 +387,9 @@ func runRegistered(sp workload.Spec, cat *repro.Catalog, algo repro.Algorithm, t
 		return writeRunJSON(doc)
 	}
 	fmt.Print(out.Trace)
+	if spansOut {
+		printSpanTree(out.TraceID, out.Events)
+	}
 	fmt.Printf("\ntotal cost: %.4g | optimal cost: %.4g | sub-optimality: %.2f\n",
 		out.TotalCost, out.OptimalCost, out.SubOpt)
 	return nil
@@ -400,7 +420,7 @@ func writeRunJSON(doc runDoc) error {
 }
 
 // runPhysical drives the chosen algorithm against the row engine.
-func runPhysical(sp workload.Spec, q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorithm, rowCap int64, jsonOut bool) error {
+func runPhysical(sp workload.Spec, q *query.Query, m *cost.Model, s *ess.Space, algo repro.Algorithm, rowCap int64, jsonOut, spansOut bool) error {
 	re := &rowexec.Engine{Query: q, Params: m.Params, RowCap: rowCap}
 	ad := &rowexec.Adapter{E: re}
 	rec := telemetry.NewRecorder()
@@ -440,12 +460,12 @@ func runPhysical(sp workload.Spec, q *query.Query, m *cost.Model, s *ess.Space, 
 	}
 	rec.Record(done)
 	events := rec.Events()
-	trace := telemetry.RenderTrace(events)
+	rendered := telemetry.RenderTrace(events)
 	if jsonOut {
 		doc := runDoc{
 			Query: sp.Name, Algorithm: algo.String(), D: q.D(), GridRes: len(s.Grid.Points[0]),
 			POSPSize: len(s.Plans()), Contours: len(s.ContourCosts(ess.CostDoublingRatio)),
-			TotalCost: total, Trace: trace, Events: events,
+			TotalCost: total, Trace: rendered, Events: events,
 		}
 		if best > 0 {
 			doc.OptimalCost = best
@@ -454,7 +474,10 @@ func runPhysical(sp workload.Spec, q *query.Query, m *cost.Model, s *ess.Space, 
 		return writeRunJSON(doc)
 	}
 	fmt.Println("physical execution over synthetic rows:")
-	fmt.Print(trace)
+	fmt.Print(rendered)
+	if spansOut {
+		printSpanTree("", events)
+	}
 	if best > 0 {
 		fmt.Printf("\ntotal work: %.4g | best physical plan: %.4g | sub-optimality: %.2f\n", total, best, total/best)
 	}

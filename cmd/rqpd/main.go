@@ -13,9 +13,14 @@
 //	     -d '{"algorithm":"spillbound","truth":[0.04,0.1]}'
 //
 // Observability: GET /v1/metrics serves Prometheus text exposition
-// (request, run, sub-optimality and session-build metrics), GET
-// /v1/debug/stats returns a JSON runtime+metrics snapshot, and -pprof
-// mounts net/http/pprof under /debug/pprof/ (off by default).
+// (request, run, sub-optimality and session-build metrics; negotiate
+// Accept: application/openmetrics-text for bucket exemplars carrying trace
+// IDs), GET /v1/debug/stats returns a JSON runtime+metrics snapshot, and
+// -pprof mounts net/http/pprof under /debug/pprof/ (off by default). Every
+// response carries a W3C Traceparent and X-Request-ID; span trees of
+// sampled runs and builds are served at GET /v1/runs/{traceID}/trace
+// (?format=svg renders a flamegraph), with retention governed by
+// -trace-sample.
 //
 // The daemon carries the operational guard rails of internal/server: panic
 // recovery, per-request timeouts (requests pass their deadline down into
@@ -55,6 +60,7 @@ func main() {
 	sessionMaxRuns := flag.Int("session-max-runs", 32, "per-session concurrent run bulkhead (0 disables)")
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive session-build failures that open the build circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long the open build breaker rejects before a half-open probe")
+	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for span-tree retention, deterministic per trace ID (0 keeps every trace, negative keeps none)")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
@@ -68,6 +74,7 @@ func main() {
 		SessionMaxRuns:      *sessionMaxRuns,
 		BreakerThreshold:    *breakerThreshold,
 		BreakerCooldown:     *breakerCooldown,
+		TraceSample:         *traceSample,
 	})
 	api.StartEviction()
 	defer api.Close()

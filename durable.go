@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/runstate"
+	"repro/internal/trace"
 )
 
 // This file exposes the crash-tolerance surface of the library: durable runs
@@ -46,11 +47,21 @@ func (s *Session) RunDurable(ctx context.Context, a Algorithm, truth Location, r
 		// non-resumable registered strategy is rejected the same way.
 		return RunResult{}, fmt.Errorf("repro: durable runs need a resumable (contour- or ladder-budgeted) strategy; got %v", a)
 	}
+	// Pin the run's trace identity before the first checkpoint: the
+	// context's traceparent if one is attached, a fresh one otherwise. A
+	// crash-resumed incarnation reads it back, so the whole run — across
+	// process restarts — is one trace.
+	tp, ok := trace.FromContext(ctx)
+	if !ok {
+		tp = trace.New()
+		ctx = trace.WithContext(ctx, tp)
+	}
 	rs := runstate.RunState{
 		RunID:     runID,
 		Algorithm: a.String(),
 		Truth:     append([]float64(nil), truth...),
 		Seed:      s.opts.sweepSeed(),
+		TraceID:   tp.TraceID,
 	}
 	// Persist the initial (empty) state before the first execution, so a
 	// crash at the very first checkpoint still leaves a resumable file.
@@ -83,6 +94,16 @@ func (s *Session) ResumeRun(ctx context.Context, runID string) (RunResult, error
 	}
 	if len(rs.Truth) != s.D() {
 		return RunResult{}, fmt.Errorf("repro: run %s has %d dims, session query has %d epps", runID, len(rs.Truth), s.D())
+	}
+	if rs.TraceID != "" {
+		// Rejoin the original incarnation's trace: the resumed run's spans
+		// carry the same trace ID, with a deterministic parent span ID
+		// derived from it (the resume has no live caller span to inherit).
+		ctx = trace.WithContext(ctx, trace.Traceparent{
+			TraceID: rs.TraceID,
+			SpanID:  trace.SpanIDFor(rs.TraceID, "resume:"+runID),
+			Sampled: true,
+		})
 	}
 	resume := rs.Discovery.Clone()
 	return s.runDurable(ctx, a, Location(rs.Truth), runstate.NewTracker(s.store, *rs), &resume)

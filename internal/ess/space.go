@@ -13,6 +13,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/telemetry"
 )
 
 // Space is the explored ESS: the optimal cost surface (OCS) and the
@@ -78,12 +79,21 @@ func BuildParallel(m *cost.Model, g Grid, workers int) (*Space, error) {
 // only in aggregate; treat each call as "at least done cells finished".
 type BuildProgress func(done, total int)
 
+// buildChunkCells is the fixed work-unit size of a parallel build: workers
+// pull chunks of this many contiguous cells from a shared queue. The chunk
+// geometry depends only on the grid — never on the worker count — so the
+// build_chunk event set (and hence the session-build span tree) is
+// byte-identical across serial and parallel builds; parallelism only changes
+// which worker claims which chunk, and span derivation sorts chunks by
+// CellLo, so scheduling never shows in the tree.
+const buildChunkCells = 32
+
 // BuildParallelContext is BuildParallel with cancellation and progress
 // reporting: the context is polled between optimizer calls (an expired
 // deadline or cancel abandons the build and returns the context's error),
 // and progress, when non-nil, observes the running cell count. workers <= 0
-// uses GOMAXPROCS; the grid is statically partitioned into contiguous
-// ranges, one optimizer instance per worker. Plan numbering follows first
+// uses GOMAXPROCS; the grid is split into fixed-size chunks pulled by the
+// workers, one optimizer instance per worker. Plan numbering follows first
 // appearance in flat cell order, so the resulting Space is identical to the
 // sequential Build's regardless of worker count.
 func BuildParallelContext(ctx context.Context, m *cost.Model, g Grid, workers int, progress BuildProgress) (*Space, error) {
@@ -108,38 +118,48 @@ func BuildParallelContext(ctx context.Context, m *cost.Model, g Grid, workers in
 
 	var wg sync.WaitGroup
 	var done atomic.Int64
+	var nextChunk atomic.Int64
 	total := g.Size()
+	numChunks := (total + buildChunkCells - 1) / buildChunkCells
 	errs := make([]error, workers)
-	chunk := (g.Size() + workers - 1) / workers
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > g.Size() {
-			hi = g.Size()
-		}
-		if lo >= hi {
-			continue
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(w int) {
 			defer wg.Done()
 			o, err := optimizer.New(m)
 			if err != nil {
 				errs[w] = err
 				return
 			}
-			for ci := lo; ci < hi; ci++ {
-				if ctx.Err() != nil {
+			for {
+				k := int(nextChunk.Add(1)) - 1
+				if k >= numChunks || ctx.Err() != nil {
 					return
 				}
-				p, c := o.Optimize(g.Location(ci))
-				s.optCost[ci] = c
-				fps[ci] = cellPlan{fp: p.Fingerprint(), plan: p}
-				n := done.Add(1)
-				if progress != nil {
-					progress(int(n), total)
+				lo, hi := k*buildChunkCells, (k+1)*buildChunkCells
+				if hi > total {
+					hi = total
 				}
+				for ci := lo; ci < hi; ci++ {
+					if ctx.Err() != nil {
+						return
+					}
+					p, c := o.Optimize(g.Location(ci))
+					s.optCost[ci] = c
+					fps[ci] = cellPlan{fp: p.Fingerprint(), plan: p}
+					n := done.Add(1)
+					if progress != nil {
+						progress(int(n), total)
+					}
+				}
+				// One build_chunk event per completed work unit: the
+				// per-chunk spans of a session-build trace. The recorder is
+				// concurrency-safe.
+				telemetry.From(ctx).Record(telemetry.Event{
+					Kind: telemetry.BuildChunk, Dim: -1, CellLo: lo, CellHi: hi,
+				})
 			}
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

@@ -90,6 +90,10 @@ type RunState struct {
 	// Seed is the session's deterministic sampling seed, recorded so a
 	// resumed incarnation reproduces any seeded choices identically.
 	Seed int64 `json:"seed,omitempty"`
+	// TraceID is the W3C trace ID of the run's first incarnation; resumed
+	// incarnations rejoin it, so one trace spans every process the run
+	// touched. Optional — snapshots predating tracing load fine without it.
+	TraceID string `json:"traceId,omitempty"`
 	// Completed marks a terminal snapshot: the run finished and is not
 	// resumable (kept for inspection; InterruptedRuns skips it).
 	Completed bool `json:"completed,omitempty"`

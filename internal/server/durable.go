@@ -28,6 +28,7 @@ import (
 	repro "repro"
 	"repro/internal/guard"
 	"repro/internal/runstate"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -195,7 +196,11 @@ func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.
 		s.mu.Unlock()
 		algo := res.Algorithm
 		s.metrics.resumes.Inc()
-		s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
+		s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt, res.TraceID)
+		// The resumed incarnation reuses the original trace ID (persisted in
+		// the run snapshot), so the recovered tree replaces any partial one:
+		// one trace spanning daemon restarts.
+		s.recordTrace(trace.FromRun(res.TraceID, res.Events))
 		resp := s.buildRunResponse(sess, algo, res)
 		s.recordRun(e, res, resp)
 	}

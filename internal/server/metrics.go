@@ -10,11 +10,13 @@ package server
 import (
 	"log"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // latencyBuckets spans sub-millisecond health checks to multi-second sweeps.
@@ -49,6 +51,7 @@ type serverMetrics struct {
 
 	checkpoints *telemetry.Counter
 	resumes     *telemetry.Counter
+	traceSpans  *telemetry.Counter
 
 	inflightClass *telemetry.GaugeVec   // class (run, build)
 	shed          *telemetry.CounterVec // class, reason
@@ -87,13 +90,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"result"),
 		buildCells: reg.Counter("rqp_build_cells_optimized_total",
 			"ESS grid cells optimized across all session builds."),
-		buildDuration: reg.Histogram("rqp_session_build_seconds",
+		buildDuration: reg.Histogram("rqp_session_build_duration_seconds",
 			"Wall time of asynchronous ESS session builds in seconds.",
 			buildBuckets),
 		checkpoints: reg.Counter("rqp_checkpoints_total",
 			"Durable run-state snapshots persisted at contour boundaries."),
 		resumes: reg.Counter("rqp_resumes_total",
 			"Durable runs resumed from a crash checkpoint after recovery."),
+		traceSpans: reg.Counter("rqp_trace_spans_total",
+			"Spans recorded into the in-memory trace store across all sampled traces."),
 		inflightClass: reg.GaugeVec("rqp_inflight",
 			"In-flight guarded work admitted by the overload limiters, by class (run, build).",
 			"class"),
@@ -108,6 +113,18 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("rqp_breaker_state",
 		"Session-build circuit breaker state: 0 closed, 1 open, 2 half-open.",
 		func() float64 { return float64(s.breaker.State()) })
+	// Process resource gauges, sampled at scrape time: the in-band signal
+	// the overload story (AIMD limiters, sheds) can be correlated against.
+	reg.GaugeFunc("rqp_goroutines", "Live goroutines, sampled at scrape time.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("rqp_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc), sampled at scrape time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+	reg.GaugeFunc("rqp_sessions_active", "Ready (built, servable) sessions in the registry.",
+		func() float64 { return float64(s.readyCount()) })
 	// Pre-touch both classes so the families render on the first scrape even
 	// before any guarded work arrives.
 	m.inflightClass.With("run").Set(0)
@@ -121,8 +138,11 @@ func (m *serverMetrics) setInflight(class string, n int) {
 }
 
 // observeRun records one run outcome: the outcome-labeled counter, the
-// retry count, and the sub-optimality distribution plus its high-water mark.
-func (m *serverMetrics) observeRun(algorithm string, degraded bool, retries int, subOpt float64) {
+// retry count, and the sub-optimality distribution plus its high-water
+// mark. traceID, when non-empty, becomes the landing bucket's exemplar, so
+// an operator can jump from a moved rqp_suboptimality bucket straight to
+// the span tree that moved it.
+func (m *serverMetrics) observeRun(algorithm string, degraded bool, retries int, subOpt float64, traceID string) {
 	outcome := "ok"
 	if degraded {
 		outcome = "degraded"
@@ -130,7 +150,7 @@ func (m *serverMetrics) observeRun(algorithm string, degraded bool, retries int,
 	m.runs.With(algorithm, outcome).Inc()
 	m.retries.Add(float64(retries))
 	if subOpt > 0 {
-		m.subOpt.Observe(subOpt)
+		m.subOpt.ObserveTrace(subOpt, traceID)
 		m.maxSub.SetMax(subOpt)
 	}
 }
@@ -177,7 +197,11 @@ func (m *serverMetrics) instrument(route string, h http.HandlerFunc) http.Handle
 			status = http.StatusOK
 		}
 		m.requests.With(route, r.Method, statusClass(status)).Inc()
-		m.latency.With(route).Observe(time.Since(start).Seconds())
+		// The trace middleware runs outside the mux, so every instrumented
+		// request carries a traceparent; the latency histogram links its
+		// buckets to the traces that last landed in them.
+		tp, _ := trace.FromContext(r.Context())
+		m.latency.With(route).ObserveTrace(time.Since(start).Seconds(), tp.TraceID)
 	}
 }
 
@@ -209,16 +233,25 @@ func (m *serverMetrics) deprecate(route string, h http.HandlerFunc) http.Handler
 		m.deprecated.With(route).Inc()
 		if _, seen := deprecationWarned.LoadOrStore(route, true); !seen {
 			_, path, _ := strings.Cut(route, " ")
-			log.Printf("server: deprecated=true route=%q path=%q replacement=%q msg=%q",
-				route, r.URL.Path, "/v1"+path,
+			tp, _ := trace.FromContext(r.Context())
+			log.Printf("server: deprecated=true route=%q path=%q replacement=%q requestId=%q msg=%q",
+				route, r.URL.Path, "/v1"+path, tp.TraceID,
 				"unversioned paths will be removed; migrate to /v1")
 		}
 		h(w, r)
 	}
 }
 
-// handleMetrics serves the registry in the Prometheus text format.
+// handleMetrics serves the registry in the Prometheus text format, or —
+// when the scraper negotiates Accept: application/openmetrics-text — in the
+// OpenMetrics flavor that additionally carries histogram bucket exemplars
+// linking to trace IDs.
 func (m *serverMetrics) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = m.reg.WriteOpenMetrics(w)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = m.reg.WriteProm(w)
 }

@@ -74,16 +74,21 @@ const (
 )
 
 // apiError is the uniform JSON error envelope body: every non-2xx response
-// is {"error":{"code":..., "message":...}}.
+// is {"error":{"code":..., "message":..., "traceId":...}} — the trace ID
+// duplicates the Traceparent/X-Request-ID headers in-band, so clients that
+// only log bodies still capture the correlation handle.
 type apiError struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // writeError emits the uniform error envelope. Overload responses — 429
 // (session limit) and 5xx the client should back off from (503/504) — carry
 // a Retry-After header; call sites with better knowledge (e.g. the eviction
-// cadence behind a 429) may set it first and win.
+// cadence behind a 429) may set it first and win. The trace ID is read back
+// from the X-Request-ID header the trace middleware stamps eagerly, which
+// spares every call site from threading the request context through.
 func writeError(w http.ResponseWriter, status int, code string, err error) {
 	switch status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
@@ -91,7 +96,9 @@ func writeError(w http.ResponseWriter, status int, code string, err error) {
 			w.Header().Set("Retry-After", "1")
 		}
 	}
-	writeJSON(w, status, map[string]apiError{"error": {Code: code, Message: err.Error()}})
+	writeJSON(w, status, map[string]apiError{"error": {
+		Code: code, Message: err.Error(), TraceID: w.Header().Get("X-Request-ID"),
+	}})
 }
 
 // runErrorStatus maps a session-layer error to an HTTP status and envelope

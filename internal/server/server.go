@@ -66,6 +66,7 @@ import (
 	repro "repro"
 	"repro/internal/guard"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -119,6 +120,13 @@ type Config struct {
 	// BreakerCooldown is how long the open circuit rejects before admitting
 	// a half-open probe.
 	BreakerCooldown time.Duration
+	// TraceSample is the probabilistic head-sampling rate for trace
+	// retention: the fraction of traces whose span trees are kept in the
+	// bounded in-memory store behind GET /v1/runs/{id}/trace. The decision
+	// is deterministic per trace ID. 0 keeps everything (the zero Config
+	// stays fully observable); negative keeps nothing. Traceparent
+	// propagation and RunResult trace IDs are unaffected by sampling.
+	TraceSample float64
 }
 
 // DefaultConfig returns the production guard rails: 30s request budget,
@@ -160,6 +168,10 @@ type Server struct {
 	runLimiter   *guard.AIMD    // run/sweep requests, adaptive
 	buildLimiter *guard.AIMD    // accepted session builds, adaptive
 	breaker      *guard.Breaker // session-build circuit breaker
+
+	// traces is the bounded store of sampled span trees (runs and session
+	// builds), keyed by trace ID.
+	traces *traceStore
 
 	mu       sync.Mutex
 	sessions map[string]*session
@@ -217,7 +229,7 @@ func New() *Server {
 
 // NewWithConfig returns an empty server with the given guard configuration.
 func NewWithConfig(cfg Config) *Server {
-	s := &Server{cfg: cfg, sessions: make(map[string]*session)}
+	s := &Server{cfg: cfg, sessions: make(map[string]*session), traces: newTraceStore(traceStoreCap)}
 	if cfg.MaxConcurrentRuns > 0 {
 		s.runLimiter = guard.NewAIMD(cfg.MaxConcurrentRuns, 1, cfg.MaxConcurrentRuns)
 	}
@@ -272,9 +284,15 @@ func (s *Server) Handler() http.Handler {
 	v1("GET /sessions/{id}/runs/{rid}", s.handleGetRun)
 	v1("GET /strategies", s.handleStrategies)
 	v1("GET /atlas", s.handleAtlas)
+	// Trace resources are keyed by trace ID, not session: a trace may span
+	// daemon restarts (crash-resumed runs) and outlive its session.
+	v1("GET /runs/{id}/trace", s.handleGetTrace)
 	v1("GET /metrics", m.handleMetrics)
 	v1("GET /debug/stats", m.handleDebugStats)
-	return recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux)))
+	// The trace middleware sits outermost so every response — including
+	// panics recovered below it and overload sheds — carries Traceparent
+	// and X-Request-ID headers.
+	return s.traceMiddleware(recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux))))
 }
 
 // StartEviction launches the background sweep that drops sessions idle for
@@ -343,6 +361,19 @@ func (s *Server) buildingCount() int {
 	n := 0
 	for _, e := range s.sessions {
 		if e.status == statusBuilding {
+			n++
+		}
+	}
+	return n
+}
+
+// readyCount reports how many sessions are built and servable.
+func (s *Server) readyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.sessions {
+		if e.status == statusReady {
 			n++
 		}
 	}
@@ -520,13 +551,22 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The build belongs to the create request's trace: its per-chunk events
+	// record into a dedicated recorder, and the finished build's span tree
+	// is stored under the request's trace ID.
+	tp, _ := trace.FromContext(r.Context())
+	buildRec := telemetry.NewRecorder()
+
 	s.buildWG.Add(1)
 	go func() {
 		defer s.buildWG.Done()
 		defer cancel()
 		start := time.Now()
-		sess, err := buildSession(ctx, sp, opts)
-		s.metrics.buildDuration.Observe(time.Since(start).Seconds())
+		sess, err := buildSession(telemetry.With(ctx, buildRec), sp, opts)
+		s.metrics.buildDuration.ObserveTrace(time.Since(start).Seconds(), tp.TraceID)
+		if err == nil {
+			s.recordTrace(trace.FromBuild(tp.TraceID, buildRec.Events()))
+		}
 		s.buildLimiter.Release(err == nil)
 		s.metrics.setInflight("build", s.buildLimiter.Inflight())
 		if err == nil || !errors.Is(err, context.Canceled) {
@@ -720,6 +760,10 @@ type runResponse struct {
 	// Resumed reports the run was rehydrated from a crash checkpoint;
 	// TotalCost then spans every process incarnation's checkpointed spend.
 	Resumed bool `json:"resumed,omitempty"`
+	// TraceID is the run's W3C trace ID (the request's traceparent, or a
+	// server-minted one); GET /v1/runs/{traceId}/trace serves the span tree
+	// when the trace was sampled.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // handleStrategies serves the strategy registry listing: every registered
@@ -824,8 +868,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	release(true)
-	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt)
+	s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt, res.TraceID)
 	s.metrics.observeGuard(res.GuardVerdict)
+	s.recordTrace(trace.FromRun(res.TraceID, res.Events))
 	resp := s.buildRunResponse(sess, algo, res)
 	resp.Scenario = req.Scenario
 	if req.Durable {
@@ -845,6 +890,7 @@ func (s *Server) buildRunResponse(sess *repro.Session, algo repro.Algorithm, res
 		Degraded: res.Degraded, DegradedReason: res.DegradedReason,
 		GuardVerdict: res.GuardVerdict,
 		RunID:        res.RunID, Resumed: res.Resumed,
+		TraceID: res.TraceID,
 	}
 	if g := sess.Guarantee(algo); g < 1e300 && !res.Degraded {
 		resp.Guarantee = g

@@ -1,0 +1,141 @@
+// Server-side tracing: the traceparent middleware (every request joins or
+// starts a W3C trace; the response echoes the traceparent and an
+// X-Request-ID so even 429/503/504 sheds are correlatable), the bounded
+// in-memory trace store behind GET /v1/runs/{id}/trace, and head sampling.
+
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/viz"
+)
+
+// traceStoreCap bounds the in-memory trace store: a FIFO of the most recent
+// sampled traces, enough for dashboards and smokes to follow an exemplar
+// without letting a long-lived daemon grow without bound.
+const traceStoreCap = 512
+
+// traceStore is the bounded trace-ID → span-tree map.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // insertion order for FIFO eviction
+	trees map[string]*trace.Tree
+}
+
+func newTraceStore(capacity int) *traceStore {
+	return &traceStore{cap: capacity, trees: make(map[string]*trace.Tree)}
+}
+
+// put stores (or, for a resumed run's incarnation, replaces) a trace.
+func (ts *traceStore) put(t *trace.Tree) {
+	if t == nil || t.TraceID == "" {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if _, exists := ts.trees[t.TraceID]; !exists {
+		ts.order = append(ts.order, t.TraceID)
+		for len(ts.order) > ts.cap {
+			delete(ts.trees, ts.order[0])
+			ts.order = ts.order[1:]
+		}
+	}
+	ts.trees[t.TraceID] = t
+}
+
+// get looks a trace up by ID.
+func (ts *traceStore) get(id string) (*trace.Tree, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.trees[id]
+	return t, ok
+}
+
+// len reports the stored trace count.
+func (ts *traceStore) len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.trees)
+}
+
+// sampleRate resolves the configured head-sampling rate: the zero Config
+// keeps every trace (observability by default), negative keeps none.
+func (s *Server) sampleRate() float64 {
+	switch {
+	case s.cfg.TraceSample == 0:
+		return 1
+	case s.cfg.TraceSample < 0:
+		return 0
+	}
+	return s.cfg.TraceSample
+}
+
+// keepTrace decides retention for a trace, deterministically from its ID.
+func (s *Server) keepTrace(traceID string) bool {
+	return trace.Sample(traceID, s.sampleRate())
+}
+
+// recordTrace derives nothing — it stores an already-derived tree, counts
+// its spans, and is a no-op for unsampled traces.
+func (s *Server) recordTrace(t *trace.Tree) {
+	if t == nil || !s.keepTrace(t.TraceID) {
+		return
+	}
+	s.traces.put(t)
+	s.metrics.traceSpans.Add(float64(t.Spans))
+}
+
+// traceMiddleware gives every request a trace identity before any handler
+// (or shed path) runs: an inbound traceparent header is joined, anything
+// else starts a fresh trace. The response always carries the Traceparent
+// header and an X-Request-ID (the trace ID) — set eagerly, so overload
+// rejections and panics are just as correlatable as successes — and the
+// request context carries the Traceparent for handlers and instrumentation.
+func (s *Server) traceMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tp, err := trace.Parse(r.Header.Get("Traceparent"))
+		if r.Header.Get("Traceparent") == "" || err != nil {
+			// Per trace-context semantics a malformed header restarts the
+			// trace rather than failing the request.
+			tp = trace.New()
+		}
+		w.Header().Set("Traceparent", tp.Header())
+		w.Header().Set("X-Request-ID", tp.TraceID)
+		next.ServeHTTP(w, r.WithContext(trace.WithContext(r.Context(), tp)))
+	})
+}
+
+// handleGetTrace serves GET /v1/runs/{id}/trace: the span tree of a
+// sampled run (or session build) by trace ID, as JSON or, with format=svg,
+// as a flamegraph.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.traces.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			fmt.Errorf("no trace %q (not sampled, evicted, or never recorded)", id))
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		b, err := t.JSON()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, codeInternal, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(b)
+	case "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		_, _ = io.WriteString(w, viz.Flamegraph(t))
+	default:
+		writeError(w, http.StatusBadRequest, codeBadRequest,
+			fmt.Errorf("unknown trace format %q (want json or svg)", format))
+	}
+}

@@ -186,6 +186,28 @@ func Post(url, body string) error {
 	return nil
 }
 
+// Do issues one request with an optional JSON body and returns the status,
+// the response headers, and the response body. The headers matter to drills
+// that assert on the correlation contract (Traceparent, X-Request-ID,
+// Retry-After); latency is the caller's business so retries never hide in
+// the measurement.
+func Do(method, url, body string) (int, http.Header, []byte, error) {
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header, b, err
+}
+
 // Scrape fetches /v1/metrics and returns the parsed Prometheus families.
 func Scrape(base string) (map[string]*telemetry.ParsedFamily, error) {
 	resp, err := http.Get(base + "/v1/metrics")
@@ -206,6 +228,37 @@ func Scrape(base string) (map[string]*telemetry.ParsedFamily, error) {
 	fams, err := telemetry.ParseProm(bytes.NewReader(body))
 	if err != nil {
 		return nil, fmt.Errorf("exposition does not parse: %w", err)
+	}
+	return fams, nil
+}
+
+// ScrapeOpenMetrics fetches /v1/metrics negotiating the OpenMetrics flavor
+// (which additionally carries histogram bucket exemplars) and returns the
+// parsed families.
+func ScrapeOpenMetrics(base string) (map[string]*telemetry.ParsedFamily, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		return nil, fmt.Errorf("openmetrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	fams, err := telemetry.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("openmetrics exposition does not parse: %w", err)
 	}
 	return fams, nil
 }

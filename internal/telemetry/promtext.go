@@ -23,6 +23,15 @@ type Sample struct {
 	Labels map[string]string
 	// Value is the sample value.
 	Value float64
+	// Exemplar is the OpenMetrics exemplar attached to the sample
+	// (`... # {trace_id="..."} value`), nil when absent.
+	Exemplar *Exemplar
+}
+
+// Exemplar is one parsed OpenMetrics exemplar.
+type Exemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // ParsedFamily is one declared metric family with its samples.
@@ -141,7 +150,7 @@ func parseSample(line string) (Sample, error) {
 	}
 	rest = rest[i:]
 	if rest[0] == '{' {
-		end := strings.LastIndex(rest, "}")
+		end := closeBrace(rest)
 		if end < 0 {
 			return s, fmt.Errorf("unterminated label set in %q", line)
 		}
@@ -151,8 +160,12 @@ func parseSample(line string) (Sample, error) {
 		rest = rest[end+1:]
 	}
 	rest = strings.TrimSpace(rest)
-	// A trailing timestamp is legal; take the first field as the value.
+	// After the value: nothing, a legal trailing timestamp, or an
+	// OpenMetrics exemplar (`# {labels} value`). Take the first field as
+	// the value, then classify the remainder.
+	tail := ""
 	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		tail = strings.TrimSpace(rest[j+1:])
 		rest = rest[:j]
 	}
 	v, err := parseValue(rest)
@@ -160,7 +173,65 @@ func parseSample(line string) (Sample, error) {
 		return s, fmt.Errorf("bad value %q: %v", rest, err)
 	}
 	s.Value = v
+	if strings.HasPrefix(tail, "#") {
+		ex, err := parseExemplar(strings.TrimSpace(tail[1:]))
+		if err != nil {
+			return s, fmt.Errorf("bad exemplar on %q: %v", s.Name, err)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the OpenMetrics exemplar body `{labels} value [ts]`.
+func parseExemplar(body string) (*Exemplar, error) {
+	if len(body) == 0 || body[0] != '{' {
+		return nil, fmt.Errorf("exemplar missing label set")
+	}
+	end := closeBrace(body)
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set")
+	}
+	ex := &Exemplar{Labels: map[string]string{}}
+	if err := parseLabels(body[1:end], ex.Labels); err != nil {
+		return nil, err
+	}
+	rest := strings.TrimSpace(body[end+1:])
+	if rest == "" {
+		return nil, fmt.Errorf("exemplar missing value")
+	}
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j] // trailing exemplar timestamp is legal
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", rest, err)
+	}
+	ex.Value = v
+	return ex, nil
+}
+
+// closeBrace finds the '}' terminating the label set opened at s[0],
+// skipping quoted label values (which may legally contain braces). It must
+// be the first unquoted brace, not the last on the line — an OpenMetrics
+// exemplar appends its own braced label set after the value.
+func closeBrace(s string) int {
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
 }
 
 func parseLabels(body string, into map[string]string) error {

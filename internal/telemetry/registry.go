@@ -45,6 +45,19 @@ type series struct {
 	counts      []atomic.Uint64 // histogram per-bucket (non-cumulative); last is +Inf
 	sumBits     atomic.Uint64
 	count       atomic.Uint64
+
+	// exMu guards exemplars, the last trace-linked observation per
+	// histogram bucket (nil until the first ObserveTrace). Exemplars are
+	// off the hot path — only trace-sampled observations take the lock.
+	exMu      sync.Mutex
+	exemplars []exemplar
+}
+
+// exemplar links one histogram bucket to the trace that last landed in it
+// (OpenMetrics exemplar: `... # {trace_id="..."} value`).
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // addFloat atomically adds v to a float64-bits cell.
@@ -194,6 +207,34 @@ func (h *Histogram) Observe(v float64) {
 // Count reports the number of observations.
 func (h *Histogram) Count() uint64 { return h.s.count.Load() }
 
+// ObserveTrace records one sample and, when traceID is non-empty, stores it
+// as the landing bucket's exemplar: the OpenMetrics exposition
+// (WriteOpenMetrics) then links that bucket to the trace, so a dashboard's
+// "what made this bucket move" click lands on a span tree.
+func (h *Histogram) ObserveTrace(v float64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.s.exMu.Lock()
+	if h.s.exemplars == nil {
+		h.s.exemplars = make([]exemplar, len(h.buckets)+1)
+	}
+	h.s.exemplars[i] = exemplar{traceID: traceID, value: v}
+	h.s.exMu.Unlock()
+}
+
+// exemplarAt snapshots bucket i's exemplar ("" when none was recorded).
+func (s *series) exemplarAt(i int) (exemplar, bool) {
+	s.exMu.Lock()
+	defer s.exMu.Unlock()
+	if s.exemplars == nil || s.exemplars[i].traceID == "" {
+		return exemplar{}, false
+	}
+	return s.exemplars[i], true
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
@@ -282,8 +323,18 @@ func (f *family) sortedSeries() []*series {
 	return ss
 }
 
-// WriteProm writes the registry in the Prometheus text exposition format.
-func (r *Registry) WriteProm(w io.Writer) error {
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4). Exemplars are omitted — the classic format has no
+// syntax for them; scrape WriteOpenMetrics to see them.
+func (r *Registry) WriteProm(w io.Writer) error { return r.writeText(w, false) }
+
+// WriteOpenMetrics writes the registry in an OpenMetrics-flavored text
+// exposition: the classic format plus histogram bucket exemplars
+// (`... # {trace_id="..."} value`) and the terminal `# EOF` marker. Served
+// when a scraper negotiates Accept: application/openmetrics-text.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error { return r.writeText(w, true) }
+
+func (r *Registry) writeText(w io.Writer, openMetrics bool) error {
 	var b strings.Builder
 	for _, f := range r.sortedFamilies() {
 		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
@@ -301,15 +352,30 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			cum := uint64(0)
 			for i, ub := range f.buckets {
 				cum += s.counts[i].Load()
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+				fmt.Fprintf(&b, "%s_bucket%s %d", f.name,
 					labelString(f.labels, s.labelValues, "le", formatValue(ub)), cum)
+				if openMetrics {
+					if ex, ok := s.exemplarAt(i); ok {
+						fmt.Fprintf(&b, " # {trace_id=\"%s\"} %s", escapeLabel(ex.traceID), formatValue(ex.value))
+					}
+				}
+				b.WriteByte('\n')
 			}
 			cum += s.counts[len(f.buckets)].Load()
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+			fmt.Fprintf(&b, "%s_bucket%s %d", f.name,
 				labelString(f.labels, s.labelValues, "le", "+Inf"), cum)
+			if openMetrics {
+				if ex, ok := s.exemplarAt(len(f.buckets)); ok {
+					fmt.Fprintf(&b, " # {trace_id=\"%s\"} %s", escapeLabel(ex.traceID), formatValue(ex.value))
+				}
+			}
+			b.WriteByte('\n')
 			fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, base, formatValue(math.Float64frombits(s.sumBits.Load())))
 			fmt.Fprintf(&b, "%s_count%s %d\n", f.name, base, s.count.Load())
 		}
+	}
+	if openMetrics {
+		b.WriteString("# EOF\n")
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

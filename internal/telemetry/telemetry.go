@@ -69,6 +69,14 @@ const (
 	RunResume Kind = "run_resume"
 	// Done terminates the stream with the run's aggregate outcome.
 	Done Kind = "done"
+
+	// BuildChunk records one ESS-build worker finishing its contiguous grid
+	// range [CellLo, CellHi): the per-chunk construction spans of a
+	// session-build trace.
+	BuildChunk Kind = "build_chunk"
+	// BuildMemo records the post-build session assembly (plan-diagram
+	// reduction and the shared memoized optimizer).
+	BuildMemo Kind = "build_memo"
 )
 
 // Event is one typed run-time occurrence. One struct covers every kind;
@@ -119,6 +127,10 @@ type Event struct {
 	Guarantee float64 `json:"guarantee,omitempty"`
 	// Algorithm names the strategy on Done/Degrade events.
 	Algorithm string `json:"algorithm,omitempty"`
+	// CellLo and CellHi are the half-open grid-cell range of a BuildChunk
+	// event (zero on every other kind).
+	CellLo int `json:"cellLo,omitempty"`
+	CellHi int `json:"cellHi,omitempty"`
 }
 
 // Recorder accumulates the event stream of one run. It is safe for

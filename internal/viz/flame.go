@@ -1,0 +1,121 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Flamegraph renders a trace's span tree as a standalone SVG flamegraph:
+// one row per tree depth, the X axis spanning the root span's work units
+// (the cost ledger for runs, grid cells for builds), span rectangles
+// colored by kind, zero-width markers as thin ticks. The render is a pure
+// function of the tree, so a deterministic tree yields a byte-identical
+// document.
+
+// Flamegraph geometry.
+const (
+	flameWidth  = 960 // drawable span width, px
+	flameRowH   = 22  // row height, px
+	flamePad    = 8   // outer margin
+	flameHeader = 34  // title block height
+	flameMinW   = 2.0 // minimum rendered span width, px
+)
+
+// kindColor maps a span kind to its fill.
+func kindColor(kind string) string {
+	switch kind {
+	case trace.KindRun, trace.KindBuild:
+		return "#64748b" // slate roots
+	case trace.KindContour:
+		return "#93c5fd" // light blue contour bands
+	case trace.KindPlanExec:
+		return "#22c55e" // green regular executions
+	case trace.KindSpillExec:
+		return "#0d9488" // teal spill executions
+	case trace.KindBudgetSpend:
+		return "#bbf7d0" // pale green engine accounting
+	case trace.KindGuard:
+		return "#d97706" // amber guard interventions
+	case trace.KindPrune:
+		return "#a855f7" // purple half-space prunes
+	case trace.KindRetry:
+		return "#f43f5e" // red retries
+	case trace.KindDegrade:
+		return "#475569" // slate native fallback
+	case trace.KindCheckpoint:
+		return "#2563eb" // blue durable snapshots
+	case trace.KindResume:
+		return "#1d4ed8" // dark blue resume marker
+	case trace.KindBuildChunk:
+		return "#22c55e"
+	case trace.KindBuildMemo:
+		return "#a855f7"
+	}
+	return "#cbd5e1"
+}
+
+// Flamegraph renders the span tree. A nil or empty tree renders a small
+// document stating so, never an invalid one.
+func Flamegraph(t *trace.Tree) string {
+	var out strings.Builder
+	if t == nil || t.Root == nil {
+		out.WriteString(`<svg xmlns="http://www.w3.org/2000/svg" width="320" height="40">` + "\n")
+		out.WriteString(`<text x="8" y="24" font-family="monospace" font-size="12">empty trace</text>` + "\n")
+		out.WriteString("</svg>\n")
+		return out.String()
+	}
+	depth := 0
+	var measure func(sp *trace.Span, d int)
+	measure = func(sp *trace.Span, d int) {
+		if d > depth {
+			depth = d
+		}
+		for _, c := range sp.Children {
+			measure(c, d+1)
+		}
+	}
+	measure(t.Root, 0)
+
+	span := t.Root.End - t.Root.Start
+	if span <= 0 {
+		span = 1
+	}
+	width := flameWidth + 2*flamePad
+	height := flameHeader + (depth+1)*flameRowH + 2*flamePad
+	fmt.Fprintf(&out, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&out, `<text x="%d" y="%d" font-size="13">trace %s — %d spans (%s)</text>`+"\n",
+		flamePad, flamePad+14, escape(t.TraceID), t.Spans, escape(t.Kind))
+
+	x := func(v float64) float64 {
+		return flamePad + (v-t.Root.Start)/span*flameWidth
+	}
+	var draw func(sp *trace.Span, d int)
+	draw = func(sp *trace.Span, d int) {
+		y := flameHeader + d*flameRowH + flamePad
+		x0, x1 := x(sp.Start), x(sp.End)
+		w := x1 - x0
+		if w < flameMinW {
+			w = flameMinW
+		}
+		fmt.Fprintf(&out, `<g><title>%s [%g, %g] %s</title>`, escape(sp.Name), sp.Start, sp.End, escape(sp.Kind))
+		fmt.Fprintf(&out, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#ffffff" stroke-width="0.5"/>`,
+			x0, y, w, flameRowH-3, kindColor(sp.Kind))
+		// Label spans wide enough to hold any text; ~6.6px per monospace char.
+		if maxChars := int(w / 6.6); maxChars >= 4 {
+			label := sp.Name
+			if len(label) > maxChars {
+				label = label[:maxChars-1] + "…"
+			}
+			fmt.Fprintf(&out, `<text x="%.1f" y="%d" fill="#0f172a">%s</text>`, x0+2, y+flameRowH-8, escape(label))
+		}
+		out.WriteString("</g>\n")
+		for _, c := range sp.Children {
+			draw(c, d+1)
+		}
+	}
+	draw(t.Root, 0)
+	out.WriteString("</svg>\n")
+	return out.String()
+}

@@ -1,0 +1,90 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func flameTree() *trace.Tree {
+	return trace.FromRun("4bf92f3577b34da6a3ce929d0e0e4736", []telemetry.Event{
+		{Kind: telemetry.ContourEnter, Contour: 0, Dim: -1},
+		{Kind: telemetry.PlanExec, PlanID: 3, Budget: 10, Spent: 10, Dim: -1},
+		{Kind: telemetry.ContourEnter, Contour: 1, Dim: -1},
+		{Kind: telemetry.SpillExec, PlanID: 5, Budget: 20, Spent: 20, Dim: 0},
+		{Kind: telemetry.Done, Algorithm: "spillbound", TotalCost: 30, SubOpt: 1.5, Completed: true, Dim: -1},
+	})
+}
+
+// wellFormed parses the SVG with the XML tokenizer and counts elements.
+func wellFormed(t *testing.T, svg string) int {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	n := 0
+	for {
+		tok, err := dec.Token()
+		if tok == nil {
+			break
+		}
+		if err != nil {
+			t.Fatalf("SVG does not parse: %v\n%s", err, svg)
+		}
+		if _, ok := tok.(xml.StartElement); ok {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFlamegraphStructure(t *testing.T) {
+	tree := flameTree()
+	svg := Flamegraph(tree)
+	if n := wellFormed(t, svg); n < 5 {
+		t.Errorf("flamegraph has only %d elements", n)
+	}
+	// One rect per span, plus header text.
+	if got := strings.Count(svg, "<rect "); got != tree.Spans {
+		t.Errorf("%d rects for %d spans", got, tree.Spans)
+	}
+	if !strings.Contains(svg, tree.TraceID) {
+		t.Error("header does not name the trace")
+	}
+	// The root and at least one execution carry their kind colors.
+	for _, color := range []string{"#64748b", "#22c55e", "#0d9488", "#93c5fd"} {
+		if !strings.Contains(svg, color) {
+			t.Errorf("kind color %s missing", color)
+		}
+	}
+}
+
+func TestFlamegraphDeterministic(t *testing.T) {
+	if Flamegraph(flameTree()) != Flamegraph(flameTree()) {
+		t.Error("same tree rendered two different documents")
+	}
+}
+
+func TestFlamegraphEmptyAndNil(t *testing.T) {
+	for _, tree := range []*trace.Tree{nil, {}} {
+		svg := Flamegraph(tree)
+		wellFormed(t, svg)
+		if !strings.Contains(svg, "empty trace") {
+			t.Errorf("empty-tree document: %q", svg)
+		}
+	}
+}
+
+func TestFlamegraphEscapesNames(t *testing.T) {
+	// Span names flow into text and title nodes; markup must be escaped so
+	// a hostile algorithm name cannot break the document.
+	tree := trace.FromRun("4bf92f3577b34da6a3ce929d0e0e4736", []telemetry.Event{
+		{Kind: telemetry.Done, Algorithm: `<script>"x"&y</script>`, TotalCost: 1, Dim: -1},
+	})
+	svg := Flamegraph(tree)
+	wellFormed(t, svg)
+	if strings.Contains(svg, "<script>") {
+		t.Error("unescaped markup in span name")
+	}
+}

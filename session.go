@@ -26,6 +26,7 @@ import (
 	"repro/internal/spillbound"
 	"repro/internal/sqlmini"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Algorithm selects a query processing strategy. It is a thin compatibility
@@ -220,6 +221,9 @@ func NewSessionContext(ctx context.Context, cat *Catalog, sql string, epps []str
 	if err != nil {
 		return nil, err
 	}
+	// The post-build assembly (diagram reduction + shared optimizer memo)
+	// closes a traced session build.
+	telemetry.From(ctx).Record(telemetry.Event{Kind: telemetry.BuildMemo, Dim: -1})
 	s.store = store
 	return s, nil
 }
@@ -377,6 +381,15 @@ type RunResult struct {
 	// TotalCost then includes the budget ledger carried over from the
 	// interrupted incarnation(s), so SubOpt accounts the whole run.
 	Resumed bool
+	// TraceID identifies the run's trace: the W3C trace ID propagated on the
+	// context (WithTraceparent, the server's traceparent middleware) or a
+	// fresh random one. A crash-resumed run reuses the original incarnation's
+	// trace ID, so one trace spans every process incarnation. The span tree
+	// is derived from Events (see TraceTree). Excluded from the JSON form:
+	// a minted trace ID is random, and serialized RunResults (goldens,
+	// caches) must stay deterministic — carriers that want it in-band (the
+	// server's run response) surface it under their own key.
+	TraceID string `json:"-"`
 }
 
 // newModel builds the cost model for a bound query (shared by the session
@@ -463,6 +476,16 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 	// derived from the one stream below.
 	rec := telemetry.NewRecorder()
 	ctx = telemetry.With(ctx, rec)
+
+	// Every run belongs to a trace: the context's traceparent (an HTTP
+	// request's W3C header, a durable run's persisted trace ID) or a fresh
+	// random one. The span tree is derived from the event stream afterwards,
+	// so the run itself only needs the identity.
+	tp, hasTP := trace.FromContext(ctx)
+	if !hasTP {
+		tp = trace.New()
+	}
+	res.TraceID = tp.TraceID
 
 	// Durable runs additionally carry a runstate tracker: the discovery
 	// layers checkpoint through it, and a resumed run opens its stream with
