@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke trace-smoke atlas fuzz clean
+.PHONY: all build test race vet chaos resume-chaos fleet-smoke bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke trace-smoke atlas fuzz clean
 
 all: vet build test
 
@@ -31,6 +31,18 @@ chaos:
 resume-chaos:
 	$(GO) test -race -run 'CrashResume|Resume|Rehydrat|Durable|Checkpoint' . ./internal/server/ -v
 	$(GO) test -race ./internal/runstate/ -v
+	$(GO) test -race ./internal/fleet/ -v
+
+# fleet-smoke is the multi-node chaos drill: boot a 3-node rqpd fleet over a
+# shared data directory, place a durable session through a non-owner
+# (transparent proxying), crash the owner mid-run (checkpoint-crash
+# injection + SIGKILL), and assert any-node failover end to end — mark-down
+# within the heartbeat budget, adoption and resume on the next hash owner
+# with an event suffix identical to the uninterrupted golden run under one
+# trace ID, zombie checkpoints fenced by the ownership epoch, a partitioned
+# peer routed around and healed, fleet metrics accounted, no goroutine leak.
+fleet-smoke:
+	$(GO) run ./cmd/fleetsmoke
 
 # bench runs the serial-vs-parallel ESS build comparison first, recording
 # the raw results in BENCH_build.json, then the selection-strategy

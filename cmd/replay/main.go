@@ -55,13 +55,19 @@ func main() {
 		check    = flag.Bool("check", false, "assert every guardrail class fired and no goroutines leaked; exit non-zero otherwise")
 		mixSpec  = flag.String("strategies", "spillbound",
 			"comma-separated strategy mix for clean runs; each arrival draws one uniformly (seeded), and the report breaks tail latency out per strategy")
+		targetsSpec = flag.String("targets", "",
+			"comma-separated addresses of an already-running fleet (host:port,...); arrivals are sprayed across them (seeded pick per arrival) and the report breaks latency out per node. Skips booting a local daemon and the shed/breaker/leak drills — the targets' limits are the operator's, not the harness's. Incompatible with -check")
 	)
 	flag.Parse()
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := run(*duration, *rate, *seed, mix)
+	targets := splitTargets(*targetsSpec)
+	if len(targets) > 0 && *check {
+		log.Fatal("-check asserts the harness's own tightly-limited daemon hit every guardrail; it cannot hold against an external fleet (-targets)")
+	}
+	rep, err := run(*duration, *rate, *seed, mix, targets)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,6 +89,17 @@ func main() {
 		}
 		log.Print("PASS: all guardrail classes fired, no goroutine leak")
 	}
+}
+
+// splitTargets parses the -targets list (empty → local-daemon mode).
+func splitTargets(spec string) []string {
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // parseMix resolves the -strategies knob against the strategy registry,
@@ -117,6 +134,11 @@ type report struct {
 	// the tail-latency cost of each selection/discovery strategy is visible
 	// side by side under identical arrivals.
 	Strategies map[string]*classStats `json:"strategies"`
+	// Targets echoes the -targets list; Nodes breaks every class out per
+	// fleet node the arrival was fired at, so a slow or overloaded member is
+	// visible in its own tail (fleet spray mode only).
+	Targets []string               `json:"targets,omitempty"`
+	Nodes   map[string]*classStats `json:"nodes,omitempty"`
 	// Guardrails is the census observed on the wire.
 	Guardrails guardrails `json:"guardrails"`
 	// Daemon holds the cross-check scraped from /v1/metrics after the drills.
@@ -254,18 +276,20 @@ type recorder struct {
 	mu         sync.Mutex
 	classes    map[string]*classStats
 	strategies map[string]*classStats
+	nodes      map[string]*classStats
 	guard      guardrails
 }
 
 func newRecorder() *recorder {
-	return &recorder{classes: map[string]*classStats{}, strategies: map[string]*classStats{}}
+	return &recorder{classes: map[string]*classStats{}, strategies: map[string]*classStats{}, nodes: map[string]*classStats{}}
 }
 
 // observe records one finished request: its class, the strategy it ran (""
-// for non-run traffic), coarse outcome label, wire latency, the run's event
-// stream (nil for non-run traffic; folded into the class's phase breakdown),
-// and (for runs) the guard verdict.
-func (rec *recorder) observe(class, strategy, outcome string, latency time.Duration, events []telemetry.Event, verdict string) {
+// for non-run traffic), the fleet node it was fired at ("" in local-daemon
+// mode), coarse outcome label, wire latency, the run's event stream (nil for
+// non-run traffic; folded into the class's phase breakdown), and (for runs)
+// the guard verdict.
+func (rec *recorder) observe(class, strategy, node, outcome string, latency time.Duration, events []telemetry.Event, verdict string) {
 	phases := phasesOf(events)
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
@@ -288,6 +312,9 @@ func (rec *recorder) observe(class, strategy, outcome string, latency time.Durat
 	record(rec.classes, class)
 	if strategy != "" {
 		record(rec.strategies, strategy)
+	}
+	if node != "" {
+		record(rec.nodes, node)
 	}
 	switch outcome {
 	case "shed":
@@ -320,10 +347,10 @@ func (rec *recorder) observeTraceparent(h http.Header) {
 	rec.mu.Unlock()
 }
 
-func (rec *recorder) snapshot() (classes, strategies map[string]*classStats, guard guardrails) {
+func (rec *recorder) snapshot() (classes, strategies, nodes map[string]*classStats, guard guardrails) {
 	rec.mu.Lock()
 	defer rec.mu.Unlock()
-	for _, m := range []map[string]*classStats{rec.classes, rec.strategies} {
+	for _, m := range []map[string]*classStats{rec.classes, rec.strategies, rec.nodes} {
 		for _, cs := range m {
 			sort.Float64s(cs.lat)
 			cs.P50Ms = percentile(cs.lat, 0.50)
@@ -331,7 +358,7 @@ func (rec *recorder) snapshot() (classes, strategies map[string]*classStats, gua
 			cs.P99Ms = percentile(cs.lat, 0.99)
 		}
 	}
-	return rec.classes, rec.strategies, rec.guard
+	return rec.classes, rec.strategies, rec.nodes, rec.guard
 }
 
 // percentile reads the q-quantile of a sorted sample (nearest-rank).
@@ -391,36 +418,48 @@ func pick(rng *rand.Rand, seed int64, mix []string) trafficEvent {
 	}
 }
 
-func run(duration time.Duration, rate float64, seed int64, mix []string) (*report, error) {
-	dir, err := os.MkdirTemp("", "replay")
-	if err != nil {
-		return nil, err
-	}
-	defer os.RemoveAll(dir)
+func run(duration time.Duration, rate float64, seed int64, mix, targets []string) (*report, error) {
+	// The bases traffic is fired at: the -targets fleet as handed to us, or
+	// one tightly-limited daemon the harness boots itself.
+	var bases []string
+	if len(targets) > 0 {
+		for _, t := range targets {
+			bases = append(bases, "http://"+t)
+		}
+	} else {
+		dir, err := os.MkdirTemp("", "replay")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
 
-	bin := filepath.Join(dir, "rqpd")
-	if err := smoke.BuildDaemon(bin); err != nil {
-		return nil, err
+		bin := filepath.Join(dir, "rqpd")
+		if err := smoke.BuildDaemon(bin); err != nil {
+			return nil, err
+		}
+		addr, err := smoke.FreeAddr()
+		if err != nil {
+			return nil, err
+		}
+		// Tight limits so the replay itself pushes the daemon into its guardrails:
+		// a run ceiling of one that the burst must overflow, a breaker that opens
+		// within one drill, and a cooldown long enough that the circuit is still
+		// open at the final scrape.
+		stop, err := smoke.StartDaemon(bin, "-addr", addr,
+			"-max-runs", "1", "-session-max-runs", "1", "-max-builds", "2",
+			"-breaker-threshold", fmt.Sprint(breakerThreshold), "-breaker-cooldown", "5m")
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		bases = []string{"http://" + addr}
 	}
-	addr, err := smoke.FreeAddr()
-	if err != nil {
-		return nil, err
-	}
-	// Tight limits so the replay itself pushes the daemon into its guardrails:
-	// a run ceiling of one that the burst must overflow, a breaker that opens
-	// within one drill, and a cooldown long enough that the circuit is still
-	// open at the final scrape.
-	stop, err := smoke.StartDaemon(bin, "-addr", addr,
-		"-max-runs", "1", "-session-max-runs", "1", "-max-builds", "2",
-		"-breaker-threshold", fmt.Sprint(breakerThreshold), "-breaker-cooldown", "5m")
-	if err != nil {
-		return nil, err
-	}
-	defer stop()
 
-	base := "http://" + addr
-	if err := smoke.Await(base+"/v1/healthz", 10*time.Second); err != nil {
-		return nil, fmt.Errorf("daemon never became healthy: %w", err)
+	base := bases[0]
+	for _, b := range bases {
+		if err := smoke.Await(b+"/v1/healthz", 10*time.Second); err != nil {
+			return nil, fmt.Errorf("daemon %s never became healthy: %w", b, err)
+		}
 	}
 	// The anchor session every run/sweep targets: dense enough that
 	// exhaustive sweeps are heavy, small enough to build quickly.
@@ -442,7 +481,7 @@ func run(duration time.Duration, rate float64, seed int64, mix []string) (*repor
 	// Phase 1 — seeded open-loop mixed traffic: arrivals are a Poisson
 	// process at -rate; an arrival fires regardless of how many requests are
 	// still in flight (that is what makes overload real).
-	log.Printf("mixed traffic: %v at %g req/s against %s", duration, rate, id)
+	log.Printf("mixed traffic: %v at %g req/s against %s across %d node(s)", duration, rate, id, len(bases))
 	var wg sync.WaitGroup
 	start := time.Now()
 	next := start
@@ -451,69 +490,93 @@ func run(duration time.Duration, rate float64, seed int64, mix []string) (*repor
 		if next.Sub(start) > duration {
 			break
 		}
+		// The target node is part of the seeded trace too: the same seed
+		// sprays the same arrivals at the same members.
+		nodeBase, node := base, ""
+		if len(bases) > 1 {
+			i := rng.Intn(len(bases))
+			nodeBase, node = bases[i], targets[i]
+		}
 		time.Sleep(time.Until(next))
 		ev := pick(rng, seed, mix)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fire(base, id, ev, rec)
+			fire(nodeBase, node, id, ev, rec)
 		}()
 	}
 	wg.Wait()
 
-	// Phase 2 — shed drill: a concentrated burst of exhaustive sweeps past
-	// the run ceiling. Admission control must shed the excess with 429, not
-	// queue it.
-	log.Print("shed drill: 16 concurrent exhaustive sweeps")
-	for i := 0; i < 16; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			fire(base, id, trafficEvent{class: "sweep:burst", sweepMax: 0}, rec)
-		}()
-	}
-	wg.Wait()
-
-	// Phase 3 — breaker drill: CHAOS_FAIL builds fail on contact; after
-	// breakerThreshold consecutive failures the next create must be rejected
-	// 503 by the open circuit.
-	log.Printf("breaker drill: %d consecutive failing builds", breakerThreshold)
-	if err := breakerDrill(base, rec); err != nil {
-		return nil, err
-	}
-
-	// Settle and scrape.
-	final := 0
-	settleErr := smoke.Poll("goroutines back to baseline", 15*time.Second, 100*time.Millisecond, func() (bool, error) {
-		n, err := smoke.Goroutines(base)
-		if err != nil {
-			return false, err
+	settled := true
+	final := baseline
+	if len(targets) == 0 {
+		// Phase 2 — shed drill: a concentrated burst of exhaustive sweeps past
+		// the run ceiling. Admission control must shed the excess with 429, not
+		// queue it.
+		log.Print("shed drill: 16 concurrent exhaustive sweeps")
+		for i := 0; i < 16; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fire(base, "", id, trafficEvent{class: "sweep:burst", sweepMax: 0}, rec)
+			}()
 		}
-		final = n
-		return n <= baseline+5, nil
-	})
-	daemon, err := scrapeDaemon(base)
-	if err != nil {
-		return nil, err
+		wg.Wait()
+
+		// Phase 3 — breaker drill: CHAOS_FAIL builds fail on contact; after
+		// breakerThreshold consecutive failures the next create must be rejected
+		// 503 by the open circuit.
+		log.Printf("breaker drill: %d consecutive failing builds", breakerThreshold)
+		if err := breakerDrill(base, rec); err != nil {
+			return nil, err
+		}
+
+		// Settle: the burst's handlers must wind down, not linger.
+		settleErr := smoke.Poll("goroutines back to baseline", 15*time.Second, 100*time.Millisecond, func() (bool, error) {
+			n, err := smoke.Goroutines(base)
+			if err != nil {
+				return false, err
+			}
+			final = n
+			return n <= baseline+5, nil
+		})
+		settled = settleErr == nil
 	}
 
-	classes, strategies, guard := rec.snapshot()
+	// Scrape every node: the fleet-wide census is the sum of the members'.
+	daemon := &daemonView{Guard: map[string]float64{}}
+	for _, b := range bases {
+		dv, err := scrapeDaemon(b)
+		if err != nil {
+			return nil, err
+		}
+		daemon.ShedTotal += dv.ShedTotal
+		if dv.BreakerState > daemon.BreakerState {
+			daemon.BreakerState = dv.BreakerState
+		}
+		for k, v := range dv.Guard {
+			daemon.Guard[k] += v
+		}
+	}
+
+	classes, strategies, nodes, guard := rec.snapshot()
 	guard.BreakerOpened = daemon.BreakerState > 0
 	rep := &report{
-		Seed: seed, DurationS: duration.Seconds(), Rate: rate, Mix: mix,
-		Classes: classes, Strategies: strategies, Guardrails: guard, Daemon: *daemon,
-		Goroutines: leakCheck{Baseline: baseline, Final: final, Settled: settleErr == nil},
+		Seed: seed, DurationS: duration.Seconds(), Rate: rate, Mix: mix, Targets: targets,
+		Classes: classes, Strategies: strategies, Nodes: nodes, Guardrails: guard, Daemon: *daemon,
+		Goroutines: leakCheck{Baseline: baseline, Final: final, Settled: settled},
 	}
 	log.Printf("census: %d watchdog aborts, %d escapes, %d sheds, %d breaker rejections, %d crashes",
 		guard.WatchdogAborts, guard.ESSEscapes, guard.Sheds, guard.BreakerRejections, guard.Crashes)
 	return rep, nil
 }
 
-// fire executes one traffic event and records its outcome. Contract
-// outcomes: ok (200), shed (429), breaker (503), timeout (504); anything
-// else is an unexpected failure. Every response's correlation headers are
-// checked regardless of outcome.
-func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
+// fire executes one traffic event against base (attributed to node in the
+// per-node breakdown when spraying a fleet) and records its outcome.
+// Contract outcomes: ok (200), shed (429), breaker (503), timeout (504);
+// anything else is an unexpected failure. Every response's correlation
+// headers are checked regardless of outcome.
+func fire(base, node, sessionID string, ev trafficEvent, rec *recorder) {
 	var (
 		status  int
 		headers http.Header
@@ -563,7 +626,7 @@ func fire(base, sessionID string, ev trafficEvent, rec *recorder) {
 	case status == http.StatusGatewayTimeout:
 		outcome = "timeout"
 	}
-	rec.observe(ev.class, ev.strategy, outcome, latency, events, verdict)
+	rec.observe(ev.class, ev.strategy, node, outcome, latency, events, verdict)
 }
 
 // breakerDrill runs breakerThreshold consecutive CHAOS_FAIL builds (each
@@ -593,7 +656,7 @@ func breakerDrill(base string, rec *recorder) error {
 		}); err != nil {
 			return err
 		}
-		rec.observe("build:chaos", "", "build_failed", time.Since(start), nil, "")
+		rec.observe("build:chaos", "", "", "build_failed", time.Since(start), nil, "")
 	}
 	start := time.Now()
 	status, headers, body, err := do(http.MethodPost, base+"/v1/sessions", `{"query":"CHAOS_FAIL"}`)
@@ -605,11 +668,11 @@ func breakerDrill(base string, rec *recorder) error {
 	rec.observeTraceparent(headers)
 	latency := time.Since(start)
 	if status != http.StatusServiceUnavailable {
-		rec.observe("build:chaos", "", "error", latency, nil, "")
+		rec.observe("build:chaos", "", "", "error", latency, nil, "")
 		return fmt.Errorf("create after %d consecutive build failures: status %d (want 503 from the open breaker): %s",
 			breakerThreshold, status, body)
 	}
-	rec.observe("build:chaos", "", "breaker", latency, nil, "")
+	rec.observe("build:chaos", "", "", "breaker", latency, nil, "")
 	return nil
 }
 

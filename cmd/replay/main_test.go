@@ -69,12 +69,12 @@ func TestRecorderCensus(t *testing.T) {
 		{Kind: telemetry.BudgetAbort},
 		{Kind: telemetry.Done},
 	}
-	rec.observe("run", "spillbound", "ok", 5*time.Millisecond, events, "budget_abort")
-	rec.observe("run", "penaltyaware", "ok", 10*time.Millisecond, nil, "ess_escape")
-	rec.observe("run", "spillbound", "shed", time.Millisecond, nil, "")
-	rec.observe("build:chaos", "", "breaker", time.Millisecond, nil, "")
-	rec.observe("sweep", "", "error", time.Millisecond, nil, "")
-	classes, strategies, guard := rec.snapshot()
+	rec.observe("run", "spillbound", "n1", "ok", 5*time.Millisecond, events, "budget_abort")
+	rec.observe("run", "penaltyaware", "n2", "ok", 10*time.Millisecond, nil, "ess_escape")
+	rec.observe("run", "spillbound", "n1", "shed", time.Millisecond, nil, "")
+	rec.observe("build:chaos", "", "", "breaker", time.Millisecond, nil, "")
+	rec.observe("sweep", "", "", "error", time.Millisecond, nil, "")
+	classes, strategies, nodes, guard := rec.snapshot()
 	if guard.WatchdogAborts != 1 || guard.ESSEscapes != 1 || guard.Sheds != 1 ||
 		guard.BreakerRejections != 1 || guard.UnexpectedFailures != 1 {
 		t.Errorf("census off: %+v", guard)
@@ -105,6 +105,14 @@ func TestRecorderCensus(t *testing.T) {
 	if len(strategies) != 2 {
 		t.Errorf("strategies = %d keys, want 2", len(strategies))
 	}
+	// Per-node breakout (fleet spray mode): only arrivals fired at a named
+	// node are keyed.
+	if ns := nodes["n1"]; ns == nil || ns.Count != 2 || ns.Statuses["shed"] != 1 {
+		t.Errorf("n1 node stats off: %+v", ns)
+	}
+	if len(nodes) != 2 {
+		t.Errorf("nodes = %d keys, want 2", len(nodes))
+	}
 }
 
 func TestRecorderTraceparent(t *testing.T) {
@@ -119,7 +127,7 @@ func TestRecorderTraceparent(t *testing.T) {
 	noRequestID := http.Header{}
 	noRequestID.Set("Traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
 	rec.observeTraceparent(noRequestID)
-	_, _, guard := rec.snapshot()
+	_, _, _, guard := rec.snapshot()
 	if guard.TraceparentViolations != 2 {
 		t.Errorf("traceparent violations = %d, want 2 (garbled header + missing request id)",
 			guard.TraceparentViolations)

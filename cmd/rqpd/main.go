@@ -40,9 +40,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -61,6 +63,13 @@ func main() {
 	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive session-build failures that open the build circuit breaker (0 disables)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long the open build breaker rejects before a half-open probe")
 	traceSample := flag.Float64("trace-sample", 0, "head-sampling rate for span-tree retention, deterministic per trace ID (0 keeps every trace, negative keeps none)")
+	peers := flag.String("peers", "", "comma-separated fleet peer addresses (host:port), this node included: enables the multi-node session fabric (consistent-hash routing, transparent proxying, any-node failover); requires -data on a shared filesystem")
+	advertise := flag.String("advertise", "", "address peers reach this node at (default: -addr)")
+	hbInterval := flag.Duration("heartbeat-interval", time.Second, "fleet heartbeat probe cadence")
+	hbTimeout := flag.Duration("heartbeat-timeout", 0, "per-probe timeout (0 = half the interval)")
+	hbDown := flag.Int("heartbeat-down", 3, "consecutive probe failures that mark a peer down")
+	hbUp := flag.Int("heartbeat-up", 2, "consecutive probe successes that mark a down peer back up")
+	hedgeDelay := flag.Duration("hedge-delay", 150*time.Millisecond, "delay before hedging a slow proxied idempotent read (negative disables)")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
@@ -78,13 +87,49 @@ func main() {
 	})
 	api.StartEviction()
 	defer api.Close()
-	if *dataDir != "" {
+
+	var node *fleet.Node
+	self := *advertise
+	if self == "" {
+		self = *addr
+	}
+	if *peers != "" {
+		if *dataDir == "" {
+			log.Fatal("rqpd: -peers requires -data (a shared durable directory is what makes any-node failover possible)")
+		}
+		var err error
+		node, err = fleet.New(fleet.Config{
+			Self:              self,
+			Peers:             strings.Split(*peers, ","),
+			DataDir:           *dataDir,
+			HeartbeatInterval: *hbInterval,
+			ProbeTimeout:      *hbTimeout,
+			MarkDown:          *hbDown,
+			MarkUp:            *hbUp,
+			ProxyTimeout:      *reqTimeout,
+			HedgeDelay:        *hedgeDelay,
+		}, api)
+		if err != nil {
+			log.Fatalf("rqpd fleet: %v", err)
+		}
+	} else if *dataDir != "" {
+		// Single-node restart recovery. A fleet node skips it: its initial
+		// orphan scan adopts exactly the sessions the ring assigns it, so a
+		// rolling restart doesn't have every node rebuild every session.
 		if err := api.Recover(context.Background()); err != nil {
 			log.Printf("rqpd recovery: %v", err)
 		}
 	}
 
-	handler := api.Handler()
+	var handler http.Handler
+	if node != nil {
+		handler = node.Handler()
+		node.Start()
+		defer node.Close()
+		log.Printf("rqpd fleet member %s of %s (trace %s)", self, *peers, node.FleetTraceID())
+	} else {
+		handler = api.Handler()
+	}
 	if *pprofOn {
 		// The profiling surface bypasses the API middleware (its own mux):
 		// profile streams run longer than the per-request timeout allows,

@@ -27,6 +27,13 @@ import (
 // durable snapshot.
 func ErrRunCrashed(err error) bool { return faults.IsCrash(err) }
 
+// ErrRunFenced reports whether the error came from an ownership-epoch
+// fencing rejection: the session failed over to another owner while this
+// process was still executing the run, and the write was refused so the
+// zombie incarnation cannot clobber the new owner's state. Terminal — do
+// not retry, degrade, or resume from this process.
+func ErrRunFenced(err error) bool { return runstate.IsFenced(err) }
+
 // RunDurable is RunContext with crash tolerance: the run's discovery state is
 // checkpointed atomically under Options.DataDir at every contour boundary,
 // keyed by runID. If the process dies mid-run, ResumeRun(runID) continues
@@ -62,6 +69,11 @@ func (s *Session) RunDurable(ctx context.Context, a Algorithm, truth Location, r
 		Truth:     append([]float64(nil), truth...),
 		Seed:      s.opts.sweepSeed(),
 		TraceID:   tp.TraceID,
+		// Stamp the ownership epoch the writer holds right now (disk truth,
+		// not a process-lifetime cache): a healed former owner that starts
+		// new runs after a failover must stamp the advanced epoch, not the
+		// one it booted with.
+		Epoch: s.store.Epoch(),
 	}
 	// Persist the initial (empty) state before the first execution, so a
 	// crash at the very first checkpoint still leaves a resumable file.
@@ -105,6 +117,10 @@ func (s *Session) ResumeRun(ctx context.Context, runID string) (RunResult, error
 			Sampled: true,
 		})
 	}
+	// The resuming incarnation owns the run under the session's current
+	// ownership epoch — after a failover advanced it, the previous owner's
+	// still-running incarnation is fenced out of the store (see epoch.go).
+	rs.Epoch = s.store.Epoch()
 	resume := rs.Discovery.Clone()
 	return s.runDurable(ctx, a, Location(rs.Truth), runstate.NewTracker(s.store, *rs), &resume)
 }
@@ -179,6 +195,28 @@ func (s *Session) DataDir() string {
 		return ""
 	}
 	return s.store.Dir()
+}
+
+// OwnershipEpoch returns the session's current ownership epoch (0 until the
+// first failover advances it).
+func (s *Session) OwnershipEpoch() (int64, error) {
+	if err := s.requireStore(); err != nil {
+		return 0, err
+	}
+	return s.store.Epoch(), nil
+}
+
+// AdvanceOwnershipEpoch fences out every previous owner of this session's
+// durable state: runs started or resumed after the advance stamp the new
+// epoch, and checkpoints stamped with any older epoch are rejected with a
+// terminal fencing error (see ErrRunFenced). A fleet node calls this once
+// when it adopts an orphaned session, before resuming its interrupted runs;
+// node names the new owner for diagnostics.
+func (s *Session) AdvanceOwnershipEpoch(node string) (int64, error) {
+	if err := s.requireStore(); err != nil {
+		return 0, err
+	}
+	return s.store.AdvanceEpoch(node)
 }
 
 // requireStore guards the durable API against sessions built without a data

@@ -76,12 +76,13 @@ type Plan struct {
 	// contour (the bounded-redo case). 0 disables.
 	CrashAtCheckpoint int
 
-	mu          sync.Mutex
-	execs       int
-	costEvals   int
-	checkpoints int
-	learns      int
-	injected    int
+	mu             sync.Mutex
+	execs          int
+	costEvals      int
+	checkpoints    int
+	learns         int
+	injected       int
+	dropHeartbeats bool
 }
 
 // ctxKey is the private context key for the active plan.
@@ -183,6 +184,39 @@ func (p *Plan) OnCheckpoint() error {
 	p.mu.Unlock()
 	if inject {
 		return fmt.Errorf("%w (checkpoint %d)", ErrCrashed, n)
+	}
+	return nil
+}
+
+// SetDropHeartbeats toggles heartbeat-drop injection at runtime: while set,
+// OnHeartbeat fails every probe, so a fleet node consulting the plan in its
+// health handler looks partitioned to its peers while staying fully alive —
+// the asymmetric network-partition chaos case. Nil-safe (a nil plan ignores
+// the toggle).
+func (p *Plan) SetDropHeartbeats(drop bool) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.dropHeartbeats = drop
+	p.mu.Unlock()
+}
+
+// OnHeartbeat is called by the fleet health handler on every inbound
+// heartbeat probe; it returns ErrInjected while heartbeat dropping is
+// toggled on. Nil-safe.
+func (p *Plan) OnHeartbeat() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	drop := p.dropHeartbeats
+	if drop {
+		p.injected++
+	}
+	p.mu.Unlock()
+	if drop {
+		return fmt.Errorf("%w (heartbeat dropped)", ErrInjected)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// Any-node failover. The shared data directory is the durable substrate:
+// every session's metadata, persisted ESS and checkpointed run states live
+// under <DataDir>/<sessionID>/, written atomically by the owning node. When
+// a heartbeat marks an owner down, its sessions re-hash to survivors, and
+// each survivor adopts the share it now owns: re-register the session from
+// its metadata, rehydrate the persisted ESS, advance the ownership epoch
+// (fencing the dead — or merely partitioned — owner's late checkpoints
+// out), and resume every interrupted durable run from its last checkpoint.
+// Nothing is replicated and nothing is coordinated: the ring is derived
+// state, the epoch file is the lock, and the monotone discovery state makes
+// any checkpoint a valid restart point.
+
+// scanOrphans walks the shared data directory and adopts every session this
+// node owns under the current ring but does not hold in memory. It runs at
+// boot (this node's share of a cold fleet), on every peer mark-down (the
+// dead peer's share), and periodically (races between scan and transition).
+func (n *Node) scanOrphans() {
+	entries, err := os.ReadDir(n.cfg.DataDir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		id := ent.Name()
+		if n.owner(id) != n.cfg.Self || n.srv.HasSession(id) {
+			continue
+		}
+		n.adopt(id)
+	}
+}
+
+// sessionOnDisk reports whether the shared data directory holds a session
+// directory (with metadata) under id.
+func (n *Node) sessionOnDisk(id string) bool {
+	if n.cfg.DataDir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(n.cfg.DataDir, id, "session.json"))
+	return err == nil
+}
+
+// adopt takes ownership of one orphaned session: synchronous registration
+// (requests immediately see it building), asynchronous ESS rehydration,
+// then epoch fencing and checkpoint resume inside the server's adoption
+// path. Concurrent adopters of the same session (a request racing the
+// orphan scan) collapse to one — the server rejects duplicate IDs, and the
+// adopting set keeps this node from even trying twice.
+func (n *Node) adopt(id string) {
+	n.adoptMu.Lock()
+	if n.adopting[id] {
+		n.adoptMu.Unlock()
+		return
+	}
+	n.adopting[id] = true
+	n.adoptMu.Unlock()
+	defer func() {
+		n.adoptMu.Lock()
+		delete(n.adopting, id)
+		n.adoptMu.Unlock()
+	}()
+
+	err := n.srv.AdoptSession(id, server.AdoptOptions{
+		Node: n.cfg.Self,
+		OnFailover: func(runID string, rerr error) {
+			if rerr != nil {
+				return
+			}
+			n.metrics.failovers.Inc()
+			// The failover lands in the fleet's membership timeline too, so
+			// one flamegraph shows the mark-down and the adoptions it
+			// triggered side by side.
+			n.rec.Record(telemetry.Event{Kind: telemetry.Failover, Dim: -1, Detail: runID, Mode: n.cfg.Self})
+			n.publishFleetTrace()
+		},
+	})
+	_ = err // duplicate registration (a racing adopter won) is fine
+}

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Membership tracks the liveness of the fleet's peers by periodic heartbeat
+// probes (GET /v1/fleet/health with a short per-probe timeout). State
+// transitions are hysteretic — MarkDown consecutive failures take a peer
+// down, MarkUp consecutive successes bring it back — so one dropped packet
+// never reshuffles the ring, and a flapping peer must prove itself before
+// reclaiming its sessions. While a peer is down its probe cadence backs off
+// exponentially (capped), so a long-dead node costs a trickle, not a
+// heartbeat storm.
+//
+// Peers start optimistically live: at boot the ring spans the full static
+// peer list, and genuinely dead peers are marked down within
+// MarkDown*Interval. The alternative (pessimistic start) would make every
+// node adopt the whole keyspace during a rolling restart.
+type Membership struct {
+	self     string
+	interval time.Duration
+	timeout  time.Duration
+	markDown int
+	markUp   int
+	maxBack  time.Duration
+	client   *http.Client
+
+	// onTransition fires outside the member lock on every down/up crossing.
+	onTransition func(addr string, live bool)
+
+	mu    sync.Mutex
+	peers map[string]*member
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// member is one probed peer's hysteresis state.
+type member struct {
+	addr     string
+	live     bool
+	fails    int // consecutive probe failures
+	oks      int // consecutive probe successes
+	backoff  time.Duration
+	lastErr  string
+	probes   int
+	lastSeen time.Time
+}
+
+// PeerStatus is the externally visible liveness record of one fleet member
+// (self included), served by GET /v1/fleet/peers.
+type PeerStatus struct {
+	Addr string `json:"addr"`
+	Self bool   `json:"self,omitempty"`
+	Live bool   `json:"live"`
+	// Fails and Oks are the current consecutive-probe counters feeding the
+	// mark-down/mark-up hysteresis.
+	Fails int `json:"fails,omitempty"`
+	Oks   int `json:"oks,omitempty"`
+	// Probes counts probes sent to this peer; LastError is the most recent
+	// probe failure (sticky until the next success).
+	Probes   int    `json:"probes,omitempty"`
+	LastErr  string `json:"lastError,omitempty"`
+	LastSeen string `json:"lastSeen,omitempty"`
+}
+
+// newMembership wires a membership tracker for self over the static peer
+// list; probing starts with start().
+func newMembership(self string, peers []string, interval, timeout, maxBack time.Duration,
+	markDown, markUp int, onTransition func(addr string, live bool)) *Membership {
+	m := &Membership{
+		self:     self,
+		interval: interval,
+		timeout:  timeout,
+		markDown: markDown,
+		markUp:   markUp,
+		maxBack:  maxBack,
+		client: &http.Client{
+			Timeout: timeout,
+			// Heartbeats are tiny and latency-sensitive: don't let a wedged
+			// keep-alive connection stand in for the peer's actual health.
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+		onTransition: onTransition,
+		peers:        map[string]*member{},
+		stop:         make(chan struct{}),
+	}
+	for _, addr := range peers {
+		if addr == "" || addr == self {
+			continue
+		}
+		m.peers[addr] = &member{addr: addr, live: true}
+	}
+	return m
+}
+
+// start launches one probe loop per peer.
+func (m *Membership) start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range m.peers {
+		m.wg.Add(1)
+		go m.probeLoop(p.addr)
+	}
+}
+
+// close stops every probe loop and waits them out.
+func (m *Membership) close() {
+	close(m.stop)
+	m.wg.Wait()
+}
+
+// probeLoop probes one peer forever at the membership cadence, stretching
+// to the backed-off cadence while the peer is down.
+func (m *Membership) probeLoop(addr string) {
+	defer m.wg.Done()
+	timer := time.NewTimer(m.interval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-timer.C:
+		}
+		ok, err := m.probe(addr)
+		next := m.observe(addr, ok, err)
+		timer.Reset(next)
+	}
+}
+
+// probe performs one heartbeat: any 2xx body counts as alive, anything else
+// (timeout, refused connection, 503 from a fault-injected handler) counts
+// as a failure.
+func (m *Membership) probe(addr string) (bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/fleet/health", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return false, fmt.Errorf("health probe: status %d", resp.StatusCode)
+	}
+	return true, nil
+}
+
+// observe feeds one probe outcome into the hysteresis state and returns the
+// delay until the peer's next probe. Transitions fire the callback outside
+// the lock.
+func (m *Membership) observe(addr string, ok bool, err error) time.Duration {
+	m.mu.Lock()
+	p := m.peers[addr]
+	if p == nil {
+		m.mu.Unlock()
+		return m.interval
+	}
+	p.probes++
+	var transition bool
+	var nowLive bool
+	if ok {
+		p.oks++
+		p.fails = 0
+		p.lastErr = ""
+		p.lastSeen = time.Now()
+		p.backoff = 0
+		if !p.live && p.oks >= m.markUp {
+			p.live, transition, nowLive = true, true, true
+		}
+	} else {
+		p.fails++
+		p.oks = 0
+		if err != nil {
+			p.lastErr = err.Error()
+		}
+		if p.live && p.fails >= m.markDown {
+			p.live, transition, nowLive = false, true, false
+		}
+	}
+	next := m.interval
+	if !p.live {
+		// Exponential probe backoff while down, capped: a dead peer is
+		// cheap to keep an eye on, and the first successful probe resets
+		// the cadence.
+		if p.backoff < m.interval {
+			p.backoff = m.interval
+		} else {
+			p.backoff *= 2
+		}
+		if p.backoff > m.maxBack {
+			p.backoff = m.maxBack
+		}
+		next = p.backoff
+	}
+	m.mu.Unlock()
+	if transition && m.onTransition != nil {
+		m.onTransition(addr, nowLive)
+	}
+	return next
+}
+
+// Live returns the live node set, self always included, sorted by the map
+// iteration-free path the ring construction re-sorts anyway.
+func (m *Membership) Live() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []string{m.self}
+	for _, p := range m.peers {
+		if p.live {
+			out = append(out, p.addr)
+		}
+	}
+	return out
+}
+
+// LiveCount reports how many fleet members (self included) are live.
+func (m *Membership) LiveCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 1
+	for _, p := range m.peers {
+		if p.live {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every member's status (self first, then peers sorted by
+// address at the caller's leisure — the fleet handler sorts).
+func (m *Membership) Snapshot() []PeerStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := []PeerStatus{{Addr: m.self, Self: true, Live: true}}
+	for _, p := range m.peers {
+		st := PeerStatus{
+			Addr: p.addr, Live: p.live, Fails: p.fails, Oks: p.oks,
+			Probes: p.probes, LastErr: p.lastErr,
+		}
+		if !p.lastSeen.IsZero() {
+			st.LastSeen = p.lastSeen.UTC().Format(time.RFC3339Nano)
+		}
+		out = append(out, st)
+	}
+	return out
+}

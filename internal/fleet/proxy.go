@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// ForwardedHeader marks a request that already crossed one fleet hop. The
+// receiving node serves it locally unconditionally: the sender routed on
+// its ring view, and honoring a divergent local view would let a membership
+// disagreement bounce a request forever.
+const ForwardedHeader = "X-Rqp-Forwarded"
+
+// DeadlineHeader propagates the proxy deadline downstream (RFC3339Nano), so
+// the owner's handlers see the same budget the front door promised the
+// client instead of restarting the clock per hop.
+const DeadlineHeader = "X-Rqp-Deadline"
+
+// proxyMaxBody caps the request body a node will buffer for proxying —
+// matching the server's own request-body limit, so the proxy can replay the
+// body across retry and hedge attempts.
+const proxyMaxBody = 1 << 20
+
+// hopHeaders are the HTTP/1.1 hop-by-hop headers a proxy must not forward.
+var hopHeaders = []string{
+	"Connection", "Proxy-Connection", "Keep-Alive", "Proxy-Authenticate",
+	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// mintSessionID mints a fleet session ID: "f" + 12 random hex digits.
+// Random (not sequential) because every node mints independently against
+// the same shared data directory — sequential allocators collide across
+// nodes, random IDs also spread placement uniformly over the ring.
+func mintSessionID() string {
+	b := make([]byte, 6)
+	_, _ = rand.Read(b)
+	return "f" + hex.EncodeToString(b)
+}
+
+// proxy forwards the request to owner, propagating the deadline, the trace
+// identity (Traceparent was ensured by route) and the body; idempotent
+// reads get one transport-error retry and a single hedge after HedgeDelay,
+// writes get neither (a write that died on the wire may have executed).
+// Response headers are copied verbatim — a downstream shed's Retry-After
+// reaches the client untouched.
+func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
+	n.stampTrace(w, r)
+	body, err := io.ReadAll(io.LimitReader(r.Body, proxyMaxBody+1))
+	if err != nil {
+		n.metrics.proxy.With("error").Inc()
+		n.proxyError(w, http.StatusBadGateway, fmt.Errorf("fleet: read request body: %w", err))
+		return
+	}
+	if len(body) > proxyMaxBody {
+		n.metrics.proxy.With("client_error").Inc()
+		n.proxyError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("fleet: request body exceeds %d bytes", proxyMaxBody))
+		return
+	}
+
+	// One deadline spans the whole proxied exchange, hedges included; an
+	// upstream hop's deadline (we are never >1 hop deep, but a client may
+	// set one) caps it.
+	budget := n.cfg.ProxyTimeout
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		if t, err := time.Parse(time.RFC3339Nano, h); err == nil {
+			if rem := time.Until(t); rem > 0 && rem < budget {
+				budget = rem
+			}
+		}
+	}
+	deadline := time.Now().Add(budget)
+	ctx, cancel := context.WithDeadline(r.Context(), deadline)
+	defer cancel()
+
+	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
+
+	resp, err := n.forward(ctx, r, owner, body, deadline, idempotent)
+	if err != nil {
+		n.metrics.proxy.With("error").Inc()
+		// The owner is unreachable (or the budget expired). Tell the client
+		// when routing plausibly changes: one heartbeat interval from now
+		// the owner is either probed back or marked down and re-hashed.
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(n.cfg.HeartbeatInterval)))
+		n.proxyError(w, http.StatusBadGateway, fmt.Errorf("fleet: peer %s unreachable: %w", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+		n.metrics.proxy.With("shed").Inc()
+	case resp.StatusCode/100 == 4:
+		n.metrics.proxy.With("client_error").Inc()
+	case resp.StatusCode/100 == 5:
+		n.metrics.proxy.With("error").Inc()
+	default:
+		n.metrics.proxy.With("ok").Inc()
+	}
+
+	// Copy the downstream response verbatim: headers first (Retry-After,
+	// Traceparent, X-Request-ID all pass through untouched), then status,
+	// then body.
+	h := w.Header()
+	for k, vv := range resp.Header {
+		if isHopHeader(k) {
+			continue
+		}
+		h[k] = append([]string(nil), vv...)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// forward performs the outbound exchange against owner: the primary
+// attempt, a single transport-error retry for idempotent requests (the
+// read-class retry budget; writes have none), and a single hedge launched
+// after HedgeDelay when the primary is slow. First response wins; the
+// loser's context is canceled.
+func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, idempotent bool) (*http.Response, error) {
+	attempt := func(ctx context.Context) (*http.Response, error) {
+		out, err := n.outboundRequest(ctx, r, owner, body, deadline)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := n.client.Do(out)
+		if err == nil || !idempotent || ctx.Err() != nil {
+			return resp, err
+		}
+		// Read-class retry budget: one immediate retry on a transport
+		// error. GETs are idempotent and the error means no response was
+		// produced, so a duplicate is safe.
+		out, rerr := n.outboundRequest(ctx, r, owner, body, deadline)
+		if rerr != nil {
+			return nil, err
+		}
+		return n.client.Do(out)
+	}
+
+	if !idempotent || n.cfg.HedgeDelay < 0 {
+		return attempt(ctx)
+	}
+
+	type result struct {
+		resp *http.Response
+		err  error
+	}
+	primCtx, primCancel := context.WithCancel(ctx)
+	results := make(chan result, 2)
+	go func() {
+		resp, err := attempt(primCtx)
+		results <- result{resp, err}
+	}()
+
+	hedgeTimer := time.NewTimer(n.cfg.HedgeDelay)
+	defer hedgeTimer.Stop()
+
+	var hedgeCancel context.CancelFunc
+	launched := false
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case <-hedgeTimer.C:
+			if !launched {
+				launched = true
+				n.metrics.hedges.Inc()
+				var hctx context.Context
+				hctx, hedgeCancel = context.WithCancel(ctx)
+				pending++
+				go func() {
+					resp, err := attempt(hctx)
+					results <- result{resp, err}
+				}()
+			}
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				// Winner: cancel the loser and drain it in the background
+				// so its connection is returned or closed.
+				if hedgeCancel != nil {
+					hedgeCancel()
+				}
+				primCancel()
+				if pending > 0 {
+					go func(left int) {
+						for i := 0; i < left; i++ {
+							if late := <-results; late.resp != nil {
+								late.resp.Body.Close()
+							}
+						}
+					}(pending)
+				}
+				return res.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if pending == 0 {
+				primCancel()
+				if hedgeCancel != nil {
+					hedgeCancel()
+				}
+				return nil, firstErr
+			}
+			// One attempt failed but another is still in flight (or the
+			// hedge hasn't launched): if the primary died before the hedge
+			// fired, launch the hedge immediately rather than waiting out
+			// the delay.
+			if !launched {
+				hedgeTimer.Reset(0)
+			}
+		case <-ctx.Done():
+			primCancel()
+			if hedgeCancel != nil {
+				hedgeCancel()
+			}
+			if pending > 0 {
+				go func(left int) {
+					for i := 0; i < left; i++ {
+						if late := <-results; late.resp != nil {
+							late.resp.Body.Close()
+						}
+					}
+				}(pending)
+			}
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// outboundRequest builds one proxied attempt: same method/path/query against
+// the owner, headers copied minus hop-by-hop, forwarding marker and deadline
+// stamped, body replayed from the buffer.
+func (n *Node) outboundRequest(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time) (*http.Request, error) {
+	u := *r.URL
+	u.Scheme = "http"
+	u.Host = owner
+	out, err := http.NewRequestWithContext(ctx, r.Method, u.String(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	for k, vv := range r.Header {
+		if isHopHeader(k) {
+			continue
+		}
+		out.Header[k] = append([]string(nil), vv...)
+	}
+	out.Header.Set(ForwardedHeader, n.cfg.Self)
+	out.Header.Set(DeadlineHeader, deadline.UTC().Format(time.RFC3339Nano))
+	return out, nil
+}
+
+// isHopHeader reports whether the canonical header is hop-by-hop.
+func isHopHeader(k string) bool {
+	for _, h := range hopHeaders {
+		if strings.EqualFold(k, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// stampTrace pre-stamps the response with the request's trace identity, so
+// proxy-level failures are correlatable even though no downstream handler
+// ever ran. On success the downstream's headers overwrite these with the
+// same trace ID (the traceparent was forwarded).
+func (n *Node) stampTrace(w http.ResponseWriter, r *http.Request) {
+	if w.Header().Get("X-Request-ID") != "" {
+		return
+	}
+	if tp, err := trace.Parse(r.Header.Get("Traceparent")); err == nil {
+		w.Header().Set("Traceparent", tp.Header())
+		w.Header().Set("X-Request-ID", tp.TraceID)
+	}
+}
+
+// proxyError writes a fleet-level error in the server's envelope shape,
+// trace-correlated via the request's (ensured) traceparent.
+func (n *Node) proxyError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]map[string]string{"error": {
+		"code":    "peer_unreachable",
+		"message": err.Error(),
+		"traceId": w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// ceilSeconds converts a duration to whole seconds, floor 1.
+func ceilSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

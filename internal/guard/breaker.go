@@ -93,6 +93,38 @@ func (b *Breaker) Record(ok bool) {
 	}
 }
 
+// Forget releases an admitted request without recording an outcome, for
+// requests that were admitted but never exercised the dependency (e.g.
+// rejected for a duplicate ID after admission). A half-open probe slot is
+// returned so the next request can probe instead of wedging the circuit.
+func (b *Breaker) Forget() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// RetryAfter reports how long until an open circuit admits its next probe —
+// the honest Retry-After value for a breaker shed, as opposed to the full
+// configured cooldown. Zero when the circuit is not open (or nil).
+func (b *Breaker) RetryAfter() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != StateOpen {
+		return 0
+	}
+	remaining := b.Cooldown - b.now().Sub(b.openedAt)
+	if remaining < 0 {
+		return 0
+	}
+	return remaining
+}
+
 // State reports the current state (StateClosed/StateOpen/StateHalfOpen);
 // the half-open transition happens on the next Allow, not here. A nil
 // breaker reports StateClosed.

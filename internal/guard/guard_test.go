@@ -271,4 +271,67 @@ func TestBreakerNilSafe(t *testing.T) {
 		t.Fatal("nil breaker must admit and report closed")
 	}
 	b.Record(false)
+	b.Forget()
+	if b.RetryAfter() != 0 {
+		t.Fatal("nil breaker must report zero RetryAfter")
+	}
+}
+
+func TestBreakerRetryAfterReportsRemainingCooldown(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time { return clock }
+
+	if b.RetryAfter() != 0 {
+		t.Fatal("closed breaker must report zero RetryAfter")
+	}
+	b.Record(false) // opens
+	if got := b.RetryAfter(); got != time.Minute {
+		t.Fatalf("freshly opened: RetryAfter = %v, want the full cooldown", got)
+	}
+	// The advertised wait shrinks as the cooldown elapses — the honest
+	// Retry-After, not a constant.
+	clock = clock.Add(45 * time.Second)
+	if got := b.RetryAfter(); got != 15*time.Second {
+		t.Fatalf("45s in: RetryAfter = %v, want 15s", got)
+	}
+	clock = clock.Add(time.Minute)
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("past cooldown: RetryAfter = %v, want 0 (probe due)", got)
+	}
+	if !b.Allow() || b.State() != StateHalfOpen {
+		t.Fatal("cooldown expiry must admit the probe")
+	}
+	if got := b.RetryAfter(); got != 0 {
+		t.Fatalf("half-open: RetryAfter = %v, want 0", got)
+	}
+}
+
+func TestBreakerForgetReleasesProbeSlot(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := NewBreaker(1, time.Minute)
+	b.now = func() time.Time { return clock }
+
+	b.Record(false)
+	clock = clock.Add(2 * time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	// The admitted request never exercised the dependency (e.g. it was
+	// rejected for a duplicate ID): Forget must return the probe slot
+	// without recording a verdict, so the circuit neither closes nor wedges.
+	b.Forget()
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state after Forget = %d, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("Forget must release the probe slot for the next request")
+	}
+	b.Record(true)
+	if b.State() != StateClosed {
+		t.Fatal("successful probe after Forget must close the circuit")
+	}
 }

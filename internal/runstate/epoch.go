@@ -1,0 +1,84 @@
+package runstate
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Ownership epochs fence a session's durable runs across owner changes.
+//
+// A single-process deployment never advances the epoch: every snapshot and
+// the (absent) epoch file agree on epoch 0 and fencing is inert. In a fleet,
+// the node adopting an orphaned session calls AdvanceEpoch before resuming
+// its runs; the new epoch is stamped into every snapshot the new owner
+// writes, and SaveRun rejects any write whose stamped epoch is older than
+// the session's on-disk epoch. A "zombie" owner — one that lost the session
+// to failover but is still executing a run — therefore gets a terminal
+// ErrFenced on its next checkpoint instead of silently clobbering the new
+// owner's state. The epoch file is the fencing token and is read from disk
+// on every save, so a stale in-memory copy can never widen the race window
+// past one atomic rename.
+
+// ErrFenced marks a durable write rejected because the writer's ownership
+// epoch was superseded. It is terminal: callers must not retry or degrade
+// the run, because another owner has taken over.
+var ErrFenced = errors.New("runstate: ownership epoch superseded")
+
+// IsFenced reports whether err is (or wraps) an epoch-fencing rejection.
+func IsFenced(err error) bool { return errors.Is(err, ErrFenced) }
+
+// epochRecord is the on-disk shape of <dir>/epoch.json.
+type epochRecord struct {
+	Epoch int64  `json:"epoch"`
+	Node  string `json:"node,omitempty"`
+}
+
+// epochPath returns the session's ownership-epoch file path.
+func (st *Store) epochPath() string { return filepath.Join(st.dir, "epoch.json") }
+
+// LoadEpoch reads the session's current ownership epoch and the node that
+// advanced it. A missing file is epoch 0 (never failed over), not an error.
+func (st *Store) LoadEpoch() (int64, string, error) {
+	data, err := os.ReadFile(st.epochPath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, "", nil
+		}
+		return 0, "", fmt.Errorf("runstate: load epoch: %w", err)
+	}
+	var rec epochRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return 0, "", fmt.Errorf("runstate: decode epoch: %w", err)
+	}
+	return rec.Epoch, rec.Node, nil
+}
+
+// Epoch returns the session's current ownership epoch (disk truth; 0 when
+// the session has never been failed over).
+func (st *Store) Epoch() int64 {
+	epoch, _, _ := st.LoadEpoch()
+	return epoch
+}
+
+// AdvanceEpoch bumps the ownership epoch, recording node as the new owner,
+// and returns the new epoch. Runs resumed (or started) after the advance
+// stamp the new epoch into their snapshots; snapshots stamped with any
+// older epoch are fenced by SaveRun from then on.
+func (st *Store) AdvanceEpoch(node string) (int64, error) {
+	cur, _, err := st.LoadEpoch()
+	if err != nil {
+		return 0, err
+	}
+	rec := epochRecord{Epoch: cur + 1, Node: node}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("runstate: encode epoch: %w", err)
+	}
+	if err := WriteFileAtomic(st.epochPath(), data); err != nil {
+		return 0, err
+	}
+	return rec.Epoch, nil
+}

@@ -94,6 +94,12 @@ type RunState struct {
 	// incarnations rejoin it, so one trace spans every process the run
 	// touched. Optional — snapshots predating tracing load fine without it.
 	TraceID string `json:"traceId,omitempty"`
+	// Epoch is the session ownership epoch the writer held when it started
+	// (or resumed) the run. SaveRun fences writes whose epoch is older than
+	// the session's on-disk epoch — see epoch.go. Zero (the single-owner
+	// steady state, and every snapshot predating fencing) is never fenced
+	// unless the session has actually failed over.
+	Epoch int64 `json:"epoch,omitempty"`
 	// Completed marks a terminal snapshot: the run finished and is not
 	// resumable (kept for inspection; InterruptedRuns skips it).
 	Completed bool `json:"completed,omitempty"`

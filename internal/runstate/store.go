@@ -51,10 +51,17 @@ func validRunID(id string) error {
 	return nil
 }
 
-// SaveRun atomically persists the snapshot under its RunID.
+// SaveRun atomically persists the snapshot under its RunID. Writes stamped
+// with an ownership epoch older than the session's on-disk epoch are
+// rejected with ErrFenced: after a failover advanced the epoch, the
+// previous owner's late checkpoints must not clobber the new owner's state.
 func (st *Store) SaveRun(rs *RunState) error {
 	if err := validRunID(rs.RunID); err != nil {
 		return err
+	}
+	if cur, node, err := st.LoadEpoch(); err == nil && cur > rs.Epoch {
+		return fmt.Errorf("%w: run %s stamped epoch %d, session epoch %d (owner %s)",
+			ErrFenced, rs.RunID, rs.Epoch, cur, node)
 	}
 	rs.SchemaVersion = Version
 	data, err := json.Marshal(rs)

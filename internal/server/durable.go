@@ -28,6 +28,7 @@ import (
 	repro "repro"
 	"repro/internal/guard"
 	"repro/internal/runstate"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -100,16 +101,49 @@ func (s *Server) Recover(ctx context.Context) error {
 		if meta.ID == "" {
 			meta.ID = ent.Name()
 		}
-		if err := s.recoverSession(meta); err != nil && firstErr == nil {
+		if err := s.recoverSession(meta, nil); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
 	return firstErr
 }
 
+// AdoptOptions parameterizes AdoptSession: the adopting node's name (stamped
+// into the ownership-epoch record and failover trace markers) and a
+// per-resumed-run callback for the fleet layer's failover accounting.
+type AdoptOptions struct {
+	// Node names the new owner for epoch records and trace markers.
+	Node string
+	// OnFailover is called once per interrupted run the adoption resumed
+	// (err nil on success, the resume error otherwise). Optional.
+	OnFailover func(runID string, err error)
+}
+
+// AdoptSession extends the Recover path from "my sessions" to "orphaned
+// sessions": it re-registers ONE session directory from the shared data dir
+// — typically one whose previous owner a fleet heartbeat just declared dead
+// — advances the session's ownership epoch (fencing out the previous
+// owner's late checkpoints), and resumes its interrupted durable runs. The
+// session registers synchronously (so requests immediately see it as
+// building) and rebuilds asynchronously, exactly like restart recovery.
+func (s *Server) AdoptSession(id string, opts AdoptOptions) error {
+	if s.cfg.DataDir == "" {
+		return fmt.Errorf("server: adopt %s: server has no data directory", id)
+	}
+	meta, err := loadSessionMeta(filepath.Join(s.cfg.DataDir, id))
+	if err != nil {
+		return fmt.Errorf("server: adopt %s: %w", id, err)
+	}
+	if meta.ID == "" {
+		meta.ID = id
+	}
+	return s.recoverSession(meta, &opts)
+}
+
 // recoverSession re-registers one persisted session and launches its
-// rebuild + run-resume pipeline in the background.
-func (s *Server) recoverSession(meta sessionMeta) error {
+// rebuild + run-resume pipeline in the background. A non-nil adopt marks a
+// fleet failover adoption rather than own-restart recovery.
+func (s *Server) recoverSession(meta sessionMeta, adopt *AdoptOptions) error {
 	sp, ok := workload.ByName(meta.Query)
 	if !ok {
 		return fmt.Errorf("server: recover %s: unknown query %q", meta.ID, meta.Query)
@@ -169,7 +203,19 @@ func (s *Server) recoverSession(meta sessionMeta) error {
 		e.status = statusReady
 		s.mu.Unlock()
 		s.metrics.builds.With("ok").Inc()
-		s.resumeInterrupted(ctx, e, sess)
+		if adopt != nil {
+			// Fence before the first resume: once the epoch advances, any
+			// checkpoint the previous owner's still-running incarnations
+			// write is rejected terminally (runstate epoch fencing).
+			if _, err := sess.AdvanceOwnershipEpoch(adopt.Node); err != nil {
+				s.mu.Lock()
+				e.status = statusFailed
+				e.buildErr = fmt.Errorf("server: adopt %s: fence: %w", e.id, err)
+				s.mu.Unlock()
+				return
+			}
+		}
+		s.resumeInterrupted(ctx, e, sess, adopt)
 	}()
 	return nil
 }
@@ -179,14 +225,26 @@ func (s *Server) recoverSession(meta sessionMeta) error {
 // (corrupt snapshot, dimensionality skew, cancellation at shutdown) is
 // failed over: the error lands on its run resource instead of wedging
 // recovery, and its checkpoint stays on disk for inspection.
-func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.Session) {
+func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.Session, adopt *AdoptOptions) {
+	// Advance the run-ID allocator past EVERY durable run on disk, not just
+	// the interrupted ones: with a shared fleet data directory, another
+	// node's incarnation of this session may have completed runs this
+	// process never saw, and reissuing their IDs would clobber terminal
+	// snapshots.
+	if all, err := sess.DurableRuns(); err == nil {
+		for _, rid := range all {
+			s.noteRunSeq(e, rid)
+		}
+	}
 	ids, err := sess.InterruptedRuns()
 	if err != nil {
 		return
 	}
 	for _, rid := range ids {
-		s.noteRunSeq(e, rid)
 		res, err := sess.ResumeRun(ctx, rid)
+		if adopt != nil && adopt.OnFailover != nil {
+			adopt.OnFailover(rid, err)
+		}
 		s.mu.Lock()
 		if err != nil {
 			e.runs[rid] = &runRecord{status: runFailed, resumed: true, err: err.Error()}
@@ -194,6 +252,12 @@ func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.
 			continue
 		}
 		s.mu.Unlock()
+		if adopt != nil {
+			// Stamp the failover into the resumed stream (a zero-width
+			// marker at the resume ledger) so the adoption is visible in
+			// the run's events, span tree, and flamegraph.
+			res.Events = injectFailover(res.Events, adopt.Node, rid)
+		}
 		algo := res.Algorithm
 		s.metrics.resumes.Inc()
 		s.metrics.observeRun(algo.String(), res.Degraded, res.Retries, res.SubOpt, res.TraceID)
@@ -204,6 +268,23 @@ func (s *Server) resumeInterrupted(ctx context.Context, e *session, sess *repro.
 		resp := s.buildRunResponse(sess, algo, res)
 		s.recordRun(e, res, resp)
 	}
+}
+
+// injectFailover inserts a failover marker event directly after the stream's
+// run_resume event (or at the head when none exists), carrying the adopting
+// node and the resume-point ledger.
+func injectFailover(events []telemetry.Event, node, runID string) []telemetry.Event {
+	ev := telemetry.Event{Kind: telemetry.Failover, Dim: -1, Detail: runID, Mode: node}
+	for i, e := range events {
+		if e.Kind == telemetry.RunResume {
+			ev.Spent = e.Spent
+			out := make([]telemetry.Event, 0, len(events)+1)
+			out = append(out, events[:i+1]...)
+			out = append(out, ev)
+			return append(out, events[i+1:]...)
+		}
+	}
+	return append([]telemetry.Event{ev}, events...)
 }
 
 // noteRunSeq advances the session's run-ID allocator past a recovered run

@@ -85,8 +85,13 @@ type apiError struct {
 
 // writeError emits the uniform error envelope. Overload responses — 429
 // (session limit) and 5xx the client should back off from (503/504) — carry
-// a Retry-After header; call sites with better knowledge (e.g. the eviction
-// cadence behind a 429) may set it first and win. The trace ID is read back
+// a Retry-After header; call sites with better knowledge may set it first
+// and win: the eviction cadence behind a 429, the breaker's REMAINING
+// cooldown behind a circuit-open 503, and a fleet proxy relaying a
+// downstream shed forwards the downstream's value verbatim (the proxy
+// copies response headers and never re-enters this function), so the
+// generic 1-second fallback only covers sites with no better estimate.
+// The trace ID is read back
 // from the X-Request-ID header the trace middleware stamps eagerly, which
 // spares every call site from threading the request context through.
 func writeError(w http.ResponseWriter, status int, code string, err error) {

@@ -243,6 +243,46 @@ func NewWithConfig(cfg Config) *Server {
 	return s
 }
 
+// FleetSessionHeader pins the session ID a fleet front door hashed the
+// placement from: handleCreateSession registers the session under this ID
+// instead of allocating a sequential one, so every node in a shared-data-dir
+// fleet derives the same owner from the same ID. Internal — the fleet proxy
+// strips/sets it; clients never send it.
+const FleetSessionHeader = "X-Rqp-Fleet-Session"
+
+// validSessionID vets a pinned session ID: it becomes a directory name
+// under the shared data dir and a path segment in /v1 URLs, so it must be
+// short, lowercase-alphanumeric (plus - and _), and free of path tricks.
+func validSessionID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("pinned session id must be 1-64 characters")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_' {
+			continue
+		}
+		return fmt.Errorf("pinned session id %q: only [a-z0-9_-] allowed", id)
+	}
+	return nil
+}
+
+// HasSession reports whether the session ID is registered in this process,
+// in any status (building, ready, failed). The fleet router uses it to
+// decide between serving locally and kicking off an adoption of an orphaned
+// on-disk session.
+func (s *Server) HasSession(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.sessions[id]
+	return ok
+}
+
+// RecordTrace stores a span tree in the server's bounded trace store, making
+// it retrievable via GET /v1/runs/{traceId}/trace. The fleet layer uses it
+// to publish its membership-timeline trace next to run traces.
+func (s *Server) RecordTrace(t *trace.Tree) { s.recordTrace(t) }
+
 // Metrics exposes the server's telemetry registry, so embedders (cmd/rqpd)
 // can register their own process-level instruments alongside.
 func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
@@ -462,6 +502,15 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown query %q", req.Query))
 		return
 	}
+	// A fleet front door pins the session ID it hashed the placement from;
+	// without the header the server allocates its own sequential ID.
+	pinned := r.Header.Get(FleetSessionHeader)
+	if pinned != "" {
+		if err := validSessionID(pinned); err != nil {
+			writeError(w, http.StatusBadRequest, codeBadRequest, err)
+			return
+		}
+	}
 	opts := repro.BenchmarkOptions()
 	opts.Workers = s.cfg.BuildWorkers
 	switch req.Profile {
@@ -502,7 +551,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if !s.breaker.Allow() {
 		s.buildLimiter.Cancel()
-		w.Header().Set("Retry-After", strconv.Itoa(cooldownSeconds(s.cfg.BreakerCooldown)))
+		// Advertise the REMAINING cooldown, not the full configured one: a
+		// circuit opened 25s into a 30s cooldown admits its probe in 5s, and
+		// telling clients to stay away for 30 wastes most of a recovery
+		// window. RetryAfter is zero only in the Allow/RetryAfter race where
+		// the cooldown expired between the two calls — the floor keeps the
+		// header honest (retry immediately-ish).
+		w.Header().Set("Retry-After", strconv.Itoa(cooldownSeconds(s.breaker.RetryAfter())))
 		s.metrics.shed.With("build", "breaker").Inc()
 		writeError(w, http.StatusServiceUnavailable, codeOverloaded,
 			fmt.Errorf("session builds are failing; circuit open, retry after cooldown"))
@@ -527,8 +582,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	s.nextID++
-	e.id = fmt.Sprintf("s%d", s.nextID)
+	if pinned != "" {
+		if _, exists := s.sessions[pinned]; exists {
+			s.mu.Unlock()
+			cancel()
+			s.buildLimiter.Cancel()
+			s.metrics.setInflight("build", s.buildLimiter.Inflight())
+			// The build dependency was never exercised: release the breaker
+			// admission without recording an outcome.
+			s.breaker.Forget()
+			writeError(w, http.StatusConflict, codeBadRequest, fmt.Errorf("session %q already exists", pinned))
+			return
+		}
+		e.id = pinned
+	} else {
+		s.nextID++
+		e.id = fmt.Sprintf("s%d", s.nextID)
+	}
 	s.sessions[e.id] = e
 	s.mu.Unlock()
 

@@ -65,32 +65,64 @@ func BuildDaemon(binPath string) error {
 	return nil
 }
 
-// StartDaemon boots a built rqpd with the given flags, forwarding its output
-// to stderr, and returns an idempotent stop function (SIGTERM with a kill
-// fallback after 10s — the graceful-shutdown drill by default).
-func StartDaemon(binPath string, args ...string) (stop func(), err error) {
+// Daemon is a started rqpd process handle. Most drills only ever Stop()
+// (graceful SIGTERM); the fleet chaos drill also Kill()s an owner mid-run —
+// SIGKILL, no shutdown hooks, the honest crash.
+type Daemon struct {
+	cmd     *exec.Cmd
+	stopped bool
+}
+
+// Start boots a built rqpd with the given flags, forwarding its output to
+// stderr.
+func Start(binPath string, args ...string) (*Daemon, error) {
 	cmd := exec.Command(binPath, args...)
 	cmd.Stdout = os.Stderr
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return nil, err
 	}
-	stopped := false
-	return func() {
-		if stopped {
-			return
-		}
-		stopped = true
-		cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			cmd.Process.Kill()
-			<-done
-		}
-	}, nil
+	return &Daemon{cmd: cmd}, nil
+}
+
+// Stop terminates the daemon gracefully (SIGTERM with a kill fallback after
+// 10s). Idempotent.
+func (d *Daemon) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { d.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		d.cmd.Process.Kill()
+		<-done
+	}
+}
+
+// Kill SIGKILLs the daemon immediately — no graceful shutdown, in-flight
+// runs die at whatever checkpoint they last persisted. Idempotent.
+func (d *Daemon) Kill() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// StartDaemon boots a built rqpd with the given flags, forwarding its output
+// to stderr, and returns an idempotent stop function (SIGTERM with a kill
+// fallback after 10s — the graceful-shutdown drill by default).
+func StartDaemon(binPath string, args ...string) (stop func(), err error) {
+	d, err := Start(binPath, args...)
+	if err != nil {
+		return nil, err
+	}
+	return d.Stop, nil
 }
 
 // Await polls url until it answers 200 (connection errors mean "booting" and

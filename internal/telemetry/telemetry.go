@@ -77,6 +77,19 @@ const (
 	// BuildMemo records the post-build session assembly (plan-diagram
 	// reduction and the shared memoized optimizer).
 	BuildMemo Kind = "build_memo"
+
+	// PeerDown and PeerUp record fleet heartbeat state transitions: a peer
+	// crossing the mark-down (consecutive probe failures) or mark-up
+	// (consecutive probe successes) hysteresis threshold. Detail carries the
+	// peer address; Contour carries the transition ordinal.
+	PeerDown Kind = "peer_down"
+	PeerUp   Kind = "peer_up"
+	// Failover records an orphaned durable run being resumed by a new owner
+	// after its previous owner was marked down: Detail carries the run ID,
+	// Mode the adopting node, Spent the ledger the new incarnation resumed
+	// at. Injected into the resumed run's stream (and the fleet membership
+	// stream) so failovers show up as zero-width markers in flamegraphs.
+	Failover Kind = "failover"
 )
 
 // Event is one typed run-time occurrence. One struct covers every kind;

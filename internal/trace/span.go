@@ -47,6 +47,14 @@ const (
 	KindBuild      = "session_build"
 	KindBuildChunk = "build_chunk"
 	KindBuildMemo  = "optimizer_memo"
+	// KindFailover is the zero-width failover marker: an orphaned durable
+	// run resumed by a new owner after its previous owner was marked down.
+	KindFailover = "failover"
+	// KindPeer marks a fleet heartbeat state transition (peer_down /
+	// peer_up); KindFleet is the root of a fleet membership tree, whose
+	// clock is the transition ordinal rather than the cost ledger.
+	KindPeer  = "peer_state"
+	KindFleet = "fleet"
 )
 
 // Span is one node of a trace tree. Start and End are in the tree's work
@@ -230,6 +238,17 @@ func FromRun(traceID string, events []telemetry.Event) *Tree {
 			marker(KindCheckpoint, "checkpoint_save", map[string]string{
 				"runId": ev.Detail, "contour": strconv.Itoa(ev.Contour), "ledger": num(ev.Spent),
 			})
+		case telemetry.Failover:
+			// A failover marker sits at the resume ledger: the previous
+			// owner died (or was partitioned away) and this incarnation's
+			// node adopted the run.
+			attrs := map[string]string{"runId": ev.Detail, "ledger": num(ev.Spent)}
+			if ev.Mode != "" {
+				attrs["node"] = ev.Mode
+			}
+			marker(KindFailover, "failover", attrs)
+		case telemetry.PeerDown, telemetry.PeerUp:
+			marker(KindPeer, string(ev.Kind), map[string]string{"peer": ev.Detail})
 		case telemetry.Done:
 			flushPending(scope())
 			closeContour()
@@ -291,6 +310,47 @@ func FromBuild(traceID string, events []telemetry.Event) *Tree {
 		})
 	}
 	t := &Tree{TraceID: traceID, Kind: KindBuild, Root: root}
+	seal(t)
+	return t
+}
+
+// FromFleet derives a fleet-membership span tree from a node's heartbeat
+// event stream (peer_down / peer_up transitions and failover adoptions).
+// The clock is the transition ordinal — membership changes have no cost
+// ledger — so every transition is a zero-width marker at its sequence
+// position, and the flamegraph of a fleet trace reads as a membership
+// timeline. Pure function of (traceID, events), like FromRun.
+func FromFleet(traceID string, events []telemetry.Event) *Tree {
+	root := &Span{Kind: KindFleet, Name: "fleet", Attrs: map[string]string{}}
+	clock := 0.0
+	transitions, failovers := 0, 0
+	for _, ev := range events {
+		switch ev.Kind {
+		case telemetry.PeerDown, telemetry.PeerUp:
+			transitions++
+			root.Children = append(root.Children, &Span{
+				Kind: KindPeer, Name: string(ev.Kind) + ":" + ev.Detail,
+				Start: clock, End: clock,
+				Attrs: map[string]string{"peer": ev.Detail},
+			})
+			clock++
+		case telemetry.Failover:
+			failovers++
+			attrs := map[string]string{"runId": ev.Detail, "ledger": num(ev.Spent)}
+			if ev.Mode != "" {
+				attrs["node"] = ev.Mode
+			}
+			root.Children = append(root.Children, &Span{
+				Kind: KindFailover, Name: "failover:" + ev.Detail,
+				Start: clock, End: clock, Attrs: attrs,
+			})
+			clock++
+		}
+	}
+	root.End = clock
+	root.Attrs["transitions"] = strconv.Itoa(transitions)
+	root.Attrs["failovers"] = strconv.Itoa(failovers)
+	t := &Tree{TraceID: traceID, Kind: KindFleet, Root: root}
 	seal(t)
 	return t
 }

@@ -518,6 +518,14 @@ func (s *Session) runFull(ctx context.Context, a Algorithm, truth Location, cost
 			res.SubOpt = res.TotalCost / opt
 			return finishRun(rec, res, false), fmt.Errorf("repro: run crashed: %w", runErr)
 		}
+		if runstate.IsFenced(runErr) {
+			// An epoch-fencing rejection means the session failed over and
+			// another node owns this run now: terminal, like a crash. No
+			// retry and — critically — no Native degradation, which would
+			// burn budget racing the legitimate owner.
+			res.SubOpt = res.TotalCost / opt
+			return finishRun(rec, res, false), fmt.Errorf("repro: run fenced: %w", runErr)
+		}
 		if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 			return RunResult{}, fmt.Errorf("repro: run aborted: %w", runErr)
 		}
