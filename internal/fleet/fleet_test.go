@@ -285,6 +285,88 @@ func TestProxyHedgesSlowIdempotentReads(t *testing.T) {
 	}
 }
 
+func TestProxyHedgedWinnerBodyDeliveredIntact(t *testing.T) {
+	// Regression: forward() used to cancel BOTH attempts' contexts the
+	// moment a winner emerged — including the winner's own — so the proxy
+	// copied the response body under a canceled context and every hedged
+	// read could be silently truncated after the status line was written.
+	payload := strings.Repeat("x", 1<<18)
+	var hits atomic.Int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			time.Sleep(150 * time.Millisecond) // slow primary: the hedge wins
+		}
+		w.WriteHeader(http.StatusOK)
+		// Stream the body in two flushed chunks with a pause, so it is
+		// still in flight when forward() hands the winning response back.
+		fmt.Fprint(w, payload[:1024])
+		w.(http.Flusher).Flush()
+		time.Sleep(50 * time.Millisecond)
+		fmt.Fprint(w, payload[1024:])
+	}))
+	defer owner.Close()
+	ownerAddr := strings.TrimPrefix(owner.URL, "http://")
+
+	n := testNode(t, ownerAddr, 5*time.Millisecond)
+	id := keyOwnedBy(t, n, ownerAddr)
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/sessions/"+id, nil)
+	w := httptest.NewRecorder()
+	n.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if v := n.metrics.hedges.Value(); v != 1 {
+		t.Fatalf("rqp_hedges_total = %v, want 1", v)
+	}
+	if got := w.Body.Len(); got != len(payload) {
+		t.Fatalf("hedged response body truncated: %d of %d bytes reached the client", got, len(payload))
+	}
+}
+
+func TestProxyHedgeLaunchesEarlyWhenPrimaryDies(t *testing.T) {
+	// The primary attempt AND its read-class retry die on the wire long
+	// before the hedge delay elapses: the hedge must launch immediately
+	// instead of waiting out the delay (the "early hedge" rule).
+	var hits atomic.Int32
+	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			// Kill the connection before any response bytes: a transport
+			// error, consuming the primary and its one retry.
+			if c, _, err := w.(http.Hijacker).Hijack(); err == nil {
+				c.Close()
+			}
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer owner.Close()
+	ownerAddr := strings.TrimPrefix(owner.URL, "http://")
+
+	// A hedge delay far beyond the test budget: only the early launch can
+	// answer quickly.
+	n := testNode(t, ownerAddr, 10*time.Second)
+	id := keyOwnedBy(t, n, ownerAddr)
+
+	start := time.Now()
+	req := httptest.NewRequest(http.MethodGet, "/v1/sessions/"+id, nil)
+	w := httptest.NewRecorder()
+	n.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("dead primary waited out the hedge delay: %v", el)
+	}
+	if v := n.metrics.hedges.Value(); v != 1 {
+		t.Fatalf("rqp_hedges_total = %v, want 1 early hedge", v)
+	}
+	if hits.Load() != 3 {
+		t.Errorf("owner saw %d requests, want primary + retry + early hedge", hits.Load())
+	}
+}
+
 func TestProxyWritesAreNeverHedged(t *testing.T) {
 	var hits atomic.Int32
 	owner := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -85,7 +85,7 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 
 	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
 
-	resp, err := n.forward(ctx, r, owner, body, deadline, idempotent)
+	resp, release, err := n.forward(ctx, r, owner, body, deadline, idempotent)
 	if err != nil {
 		n.metrics.proxy.With("error").Inc()
 		// The owner is unreachable (or the budget expired). Tell the client
@@ -94,6 +94,12 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(n.cfg.HeartbeatInterval)))
 		n.proxyError(w, http.StatusBadGateway, fmt.Errorf("fleet: peer %s unreachable: %w", owner, err))
 		return
+	}
+	// release (when non-nil) cancels the winning attempt's context; it must
+	// not run until the body copy below has finished, or the read fails with
+	// "context canceled" after the status line is already on the wire.
+	if release != nil {
+		defer release()
 	}
 	defer resp.Body.Close()
 
@@ -125,9 +131,13 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 // forward performs the outbound exchange against owner: the primary
 // attempt, a single transport-error retry for idempotent requests (the
 // read-class retry budget; writes have none), and a single hedge launched
-// after HedgeDelay when the primary is slow. First response wins; the
-// loser's context is canceled.
-func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, idempotent bool) (*http.Response, error) {
+// after HedgeDelay when the primary is slow — or immediately when the
+// primary dies before the delay elapses. First response wins; only the
+// loser's context is canceled. The returned release func (non-nil exactly
+// when resp is from a hedged race) cancels the WINNER's context and must be
+// called only after resp.Body has been fully consumed — canceling earlier
+// kills the body read mid-stream.
+func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, idempotent bool) (*http.Response, context.CancelFunc, error) {
 	attempt := func(ctx context.Context) (*http.Response, error) {
 		out, err := n.outboundRequest(ctx, r, owner, body, deadline)
 		if err != nil {
@@ -148,26 +158,55 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 	}
 
 	if !idempotent || n.cfg.HedgeDelay < 0 {
-		return attempt(ctx)
+		resp, err := attempt(ctx)
+		return resp, nil, err
 	}
 
+	// Each attempt is tagged with its slot (0 primary, 1 hedge) so the
+	// winner's cancel func — cancels[res.id] — can be told apart from the
+	// loser's. Only the select loop touches cancels; attempts report ids.
 	type result struct {
+		id   int
 		resp *http.Response
 		err  error
 	}
-	primCtx, primCancel := context.WithCancel(ctx)
+	var cancels [2]context.CancelFunc
 	results := make(chan result, 2)
-	go func() {
-		resp, err := attempt(primCtx)
-		results <- result{resp, err}
-	}()
+	pending := 0
+	launch := func(id int) {
+		var actx context.Context
+		actx, cancels[id] = context.WithCancel(ctx)
+		pending++
+		go func() {
+			resp, err := attempt(actx)
+			results <- result{id, resp, err}
+		}()
+	}
+	// drainLate reaps still-inflight attempts after the race is decided:
+	// their contexts are canceled (idempotent re-cancel for the loser) and
+	// their bodies closed so connections are returned or shut.
+	drainLate := func(left int) {
+		if left <= 0 {
+			return
+		}
+		go func() {
+			for i := 0; i < left; i++ {
+				late := <-results
+				if c := cancels[late.id]; c != nil {
+					c()
+				}
+				if late.resp != nil {
+					late.resp.Body.Close()
+				}
+			}
+		}()
+	}
 
+	launch(0)
 	hedgeTimer := time.NewTimer(n.cfg.HedgeDelay)
 	defer hedgeTimer.Stop()
 
-	var hedgeCancel context.CancelFunc
 	launched := false
-	pending := 1
 	var firstErr error
 	for {
 		select {
@@ -175,66 +214,44 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 			if !launched {
 				launched = true
 				n.metrics.hedges.Inc()
-				var hctx context.Context
-				hctx, hedgeCancel = context.WithCancel(ctx)
-				pending++
-				go func() {
-					resp, err := attempt(hctx)
-					results <- result{resp, err}
-				}()
+				launch(1)
 			}
 		case res := <-results:
 			pending--
 			if res.err == nil {
-				// Winner: cancel the loser and drain it in the background
-				// so its connection is returned or closed.
-				if hedgeCancel != nil {
-					hedgeCancel()
+				// Winner: cancel only the loser and drain it in the
+				// background; the winner's own context stays live until the
+				// caller has copied the body and invokes the release func.
+				if other := cancels[1-res.id]; other != nil {
+					other()
 				}
-				primCancel()
-				if pending > 0 {
-					go func(left int) {
-						for i := 0; i < left; i++ {
-							if late := <-results; late.resp != nil {
-								late.resp.Body.Close()
-							}
-						}
-					}(pending)
-				}
-				return res.resp, nil
+				drainLate(pending)
+				return res.resp, cancels[res.id], nil
 			}
+			cancels[res.id]()
 			if firstErr == nil {
 				firstErr = res.err
 			}
-			if pending == 0 {
-				primCancel()
-				if hedgeCancel != nil {
-					hedgeCancel()
-				}
-				return nil, firstErr
-			}
-			// One attempt failed but another is still in flight (or the
-			// hedge hasn't launched): if the primary died before the hedge
-			// fired, launch the hedge immediately rather than waiting out
-			// the delay.
 			if !launched {
-				hedgeTimer.Reset(0)
+				// The primary died before the hedge fired: launch the hedge
+				// immediately rather than waiting out the delay.
+				launched = true
+				hedgeTimer.Stop()
+				n.metrics.hedges.Inc()
+				launch(1)
+				continue
+			}
+			if pending == 0 {
+				return nil, nil, firstErr
 			}
 		case <-ctx.Done():
-			primCancel()
-			if hedgeCancel != nil {
-				hedgeCancel()
+			for _, c := range cancels {
+				if c != nil {
+					c()
+				}
 			}
-			if pending > 0 {
-				go func(left int) {
-					for i := 0; i < left; i++ {
-						if late := <-results; late.resp != nil {
-							late.resp.Body.Close()
-						}
-					}
-				}(pending)
-			}
-			return nil, ctx.Err()
+			drainLate(pending)
+			return nil, nil, ctx.Err()
 		}
 	}
 }

@@ -6,21 +6,33 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 )
 
 // Ownership epochs fence a session's durable runs across owner changes.
 //
 // A single-process deployment never advances the epoch: every snapshot and
-// the (absent) epoch file agree on epoch 0 and fencing is inert. In a fleet,
-// the node adopting an orphaned session calls AdvanceEpoch before resuming
-// its runs; the new epoch is stamped into every snapshot the new owner
-// writes, and SaveRun rejects any write whose stamped epoch is older than
-// the session's on-disk epoch. A "zombie" owner — one that lost the session
-// to failover but is still executing a run — therefore gets a terminal
-// ErrFenced on its next checkpoint instead of silently clobbering the new
-// owner's state. The epoch file is the fencing token and is read from disk
-// on every save, so a stale in-memory copy can never widen the race window
-// past one atomic rename.
+// the (absent) epoch files agree on epoch 0 and fencing is inert. In a
+// fleet, the node adopting an orphaned session calls AdvanceEpoch before
+// resuming its runs; the new epoch is stamped into every snapshot the new
+// owner writes, and SaveRun rejects any write whose stamped epoch is older
+// than the session's on-disk epoch. A "zombie" owner — one that lost the
+// session to failover but is still executing a run — therefore gets a
+// terminal ErrFenced on its next checkpoint instead of silently clobbering
+// the new owner's state.
+//
+// The epoch is materialized as one claim file per advance,
+// <dir>/epoch-<n>.json, created with O_EXCL so claiming epoch n is an
+// atomic compare-and-swap against the shared filesystem: two nodes whose
+// ring views diverged during a membership transition can both try to adopt
+// the same session, and exactly one create of epoch-<n>.json succeeds — the
+// loser gets ErrEpochRace and must abandon the adoption. The epoch number
+// lives in the FILENAME (creation is the commit point); the JSON body only
+// records the owning node for diagnostics, so a crash between create and
+// write leaves a claim that still fences. The current epoch is the maximum
+// claim present and is read from disk on every save, so a stale in-memory
+// copy can never widen the race window.
 
 // ErrFenced marks a durable write rejected because the writer's ownership
 // epoch was superseded. It is terminal: callers must not retry or degrade
@@ -30,30 +42,71 @@ var ErrFenced = errors.New("runstate: ownership epoch superseded")
 // IsFenced reports whether err is (or wraps) an epoch-fencing rejection.
 func IsFenced(err error) bool { return errors.Is(err, ErrFenced) }
 
-// epochRecord is the on-disk shape of <dir>/epoch.json.
+// ErrEpochRace marks a lost AdvanceEpoch compare-and-swap: another node
+// claimed the same epoch first. The loser must abandon its adoption — the
+// winner owns the session and has fenced everyone else out.
+var ErrEpochRace = errors.New("runstate: lost ownership-epoch race")
+
+// IsEpochRace reports whether err is (or wraps) a lost epoch CAS.
+func IsEpochRace(err error) bool { return errors.Is(err, ErrEpochRace) }
+
+// epochRecord is the on-disk body of <dir>/epoch-<n>.json. Advisory: the
+// authoritative epoch number is the filename.
 type epochRecord struct {
 	Epoch int64  `json:"epoch"`
 	Node  string `json:"node,omitempty"`
 }
 
-// epochPath returns the session's ownership-epoch file path.
-func (st *Store) epochPath() string { return filepath.Join(st.dir, "epoch.json") }
+const (
+	epochPrefix = "epoch-"
+	epochSuffix = ".json"
+)
 
-// LoadEpoch reads the session's current ownership epoch and the node that
-// advanced it. A missing file is epoch 0 (never failed over), not an error.
+// epochClaimPath returns the claim-file path for epoch n.
+func (st *Store) epochClaimPath(n int64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%d%s", epochPrefix, n, epochSuffix))
+}
+
+// epochFromName extracts the epoch number from a claim filename.
+func epochFromName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, epochPrefix) || !strings.HasSuffix(name, epochSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, epochPrefix), epochSuffix), 10, 64)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// LoadEpoch reads the session's current ownership epoch — the maximum claim
+// file present — and the node that advanced it. No claim files means epoch 0
+// (never failed over), not an error. A claim whose body is torn (creator
+// crashed between create and write) still counts: the filename is the
+// commit point, only the node name is lost.
 func (st *Store) LoadEpoch() (int64, string, error) {
-	data, err := os.ReadFile(st.epochPath())
+	entries, err := os.ReadDir(st.dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, "", nil
 		}
 		return 0, "", fmt.Errorf("runstate: load epoch: %w", err)
 	}
-	var rec epochRecord
-	if err := json.Unmarshal(data, &rec); err != nil {
-		return 0, "", fmt.Errorf("runstate: decode epoch: %w", err)
+	var cur int64
+	var curName string
+	for _, e := range entries {
+		if n, ok := epochFromName(e.Name()); ok && n > cur {
+			cur, curName = n, e.Name()
+		}
 	}
-	return rec.Epoch, rec.Node, nil
+	if cur == 0 {
+		return 0, "", nil
+	}
+	var rec epochRecord
+	if data, err := os.ReadFile(filepath.Join(st.dir, curName)); err == nil {
+		_ = json.Unmarshal(data, &rec)
+	}
+	return cur, rec.Node, nil
 }
 
 // Epoch returns the session's current ownership epoch (disk truth; 0 when
@@ -64,21 +117,39 @@ func (st *Store) Epoch() int64 {
 }
 
 // AdvanceEpoch bumps the ownership epoch, recording node as the new owner,
-// and returns the new epoch. Runs resumed (or started) after the advance
-// stamp the new epoch into their snapshots; snapshots stamped with any
-// older epoch are fenced by SaveRun from then on.
+// and returns the new epoch. The advance is an atomic CAS: the claim file
+// for the next epoch is created with O_EXCL, so when two nodes race to
+// adopt the same session exactly one wins and the other gets ErrEpochRace.
+// Runs resumed (or started) after a successful advance stamp the new epoch
+// into their snapshots; snapshots stamped with any older epoch are fenced
+// by SaveRun from then on.
 func (st *Store) AdvanceEpoch(node string) (int64, error) {
 	cur, _, err := st.LoadEpoch()
 	if err != nil {
 		return 0, err
 	}
-	rec := epochRecord{Epoch: cur + 1, Node: node}
-	data, err := json.Marshal(rec)
+	next := cur + 1
+	f, err := os.OpenFile(st.epochClaimPath(next), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
-		return 0, fmt.Errorf("runstate: encode epoch: %w", err)
+		if os.IsExist(err) {
+			return 0, fmt.Errorf("%w: epoch %d already claimed", ErrEpochRace, next)
+		}
+		return 0, fmt.Errorf("runstate: claim epoch %d: %w", next, err)
 	}
-	if err := WriteFileAtomic(st.epochPath(), data); err != nil {
-		return 0, err
+	// The claim exists — the CAS is won and the fence is up even if the
+	// body write below fails; the record is diagnostics only.
+	data, err := json.Marshal(epochRecord{Epoch: next, Node: node})
+	if err == nil {
+		_, err = f.Write(data)
 	}
-	return rec.Epoch, nil
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return next, fmt.Errorf("runstate: record epoch %d owner: %w", next, err)
+	}
+	return next, nil
 }

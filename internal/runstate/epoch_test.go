@@ -1,0 +1,140 @@
+package runstate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestAdvanceEpochConcurrentAdoptersElectOneOwnerPerEpoch pins the CAS
+// contract the fence rests on: when several nodes race AdvanceEpoch over the
+// same session directory (divergent ring views during a membership
+// transition), no two adopters may ever be handed the SAME epoch — that
+// would leave neither fencing the other. Losers get ErrEpochRace, and the
+// final on-disk epoch equals exactly one advance per win.
+func TestAdvanceEpochConcurrentAdoptersElectOneOwnerPerEpoch(t *testing.T) {
+	dir := t.TempDir()
+	const adopters = 8
+	var wg sync.WaitGroup
+	startc := make(chan struct{})
+	epochs := make([]int64, adopters)
+	results := make([]error, adopters)
+	for i := 0; i < adopters; i++ {
+		st, err := NewStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, st *Store) {
+			defer wg.Done()
+			<-startc
+			epochs[i], results[i] = st.AdvanceEpoch(fmt.Sprintf("node-%d", i))
+		}(i, st)
+	}
+	close(startc)
+	wg.Wait()
+
+	won := map[int64]int{}
+	wins := 0
+	for i, err := range results {
+		if err == nil {
+			wins++
+			if prev, dup := won[epochs[i]]; dup {
+				t.Fatalf("epoch %d claimed by adopters %d and %d: the advance is not atomic", epochs[i], prev, i)
+			}
+			won[epochs[i]] = i
+			continue
+		}
+		if !IsEpochRace(err) {
+			t.Fatalf("adopter %d: non-race failure: %v", i, err)
+		}
+	}
+	if wins == 0 {
+		t.Fatal("no adopter won the epoch CAS")
+	}
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, _, err := st.LoadEpoch(); err != nil || final != int64(wins) {
+		t.Fatalf("final epoch = %d (err %v), want one advance per CAS win = %d", final, err, wins)
+	}
+}
+
+// TestAdvanceEpochSequenceAndRecord: sequential advances claim consecutive
+// epochs, each recording its node, and a rival's claim appearing on disk is
+// simply the new maximum for the next advance.
+func TestAdvanceEpochSequenceAndRecord(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := st.AdvanceEpoch("node-a"); err != nil || n != 1 {
+		t.Fatalf("first advance = (%d, %v), want 1", n, err)
+	}
+	// A rival winner's claim landing on shared disk (what a concurrent
+	// adoption on another node leaves behind) raises the maximum...
+	if err := os.WriteFile(filepath.Join(dir, "epoch-4.json"), []byte(`{"epoch":4,"node":"rival"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, node, err := st.LoadEpoch(); err != nil || epoch != 4 || node != "rival" {
+		t.Fatalf("epoch record = (%d, %q, %v), want (4, rival)", epoch, node, err)
+	}
+	// ...and the next advance claims past it.
+	if n, err := st.AdvanceEpoch("node-a"); err != nil || n != 5 {
+		t.Fatalf("advance past rival claim = (%d, %v), want 5", n, err)
+	}
+}
+
+// TestEpochTornClaimStillFences: a creator that crashed between the O_EXCL
+// create and the body write leaves an empty claim file. The filename is the
+// commit point — the epoch must count and fence, only the owning node's
+// name is lost.
+func TestEpochTornClaimStillFences(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "epoch-2.json"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	epoch, node, err := st.LoadEpoch()
+	if err != nil || epoch != 2 || node != "" {
+		t.Fatalf("torn claim loaded as (%d, %q, %v), want (2, \"\")", epoch, node, err)
+	}
+	if err := st.SaveRun(&RunState{RunID: "r1", Epoch: 0}); !IsFenced(err) {
+		t.Fatalf("stale write past a torn claim: want ErrFenced, got %v", err)
+	}
+	if err := st.SaveRun(&RunState{RunID: "r1", Epoch: 2}); err != nil {
+		t.Fatalf("current-epoch write rejected: %v", err)
+	}
+}
+
+// TestSaveRunFailsClosedOnUnreadableEpoch: when the epoch state cannot be
+// read at all (degraded shared filesystem — the very conditions failover
+// happens under), the fence must reject the write rather than silently
+// skipping the check.
+func TestSaveRunFailsClosedOnUnreadableEpoch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "sess")
+	st, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrade the session directory into a plain file: the epoch scan now
+	// fails with ENOTDIR instead of not-exist.
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a directory"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = st.SaveRun(&RunState{RunID: "r1"})
+	if err == nil || IsFenced(err) || !strings.Contains(err.Error(), "fence check") {
+		t.Fatalf("want a fail-closed fence-check error, got %v", err)
+	}
+}

@@ -59,7 +59,15 @@ func (st *Store) SaveRun(rs *RunState) error {
 	if err := validRunID(rs.RunID); err != nil {
 		return err
 	}
-	if cur, node, err := st.LoadEpoch(); err == nil && cur > rs.Epoch {
+	// The fence fails closed: an unreadable epoch state (degraded shared FS —
+	// exactly the conditions under which failover happens) must block the
+	// write, not silently skip the check. LoadEpoch maps not-exist to (0, nil)
+	// so single-process deployments never pay for this.
+	cur, node, err := st.LoadEpoch()
+	if err != nil {
+		return fmt.Errorf("runstate: save run %s: fence check: %w", rs.RunID, err)
+	}
+	if cur > rs.Epoch {
 		return fmt.Errorf("%w: run %s stamped epoch %d, session epoch %d (owner %s)",
 			ErrFenced, rs.RunID, rs.Epoch, cur, node)
 	}

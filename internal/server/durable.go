@@ -42,6 +42,17 @@ type sessionMeta struct {
 	Profile string `json:"profile,omitempty"`
 }
 
+// claimSessionDir creates a pinned session's directory as an exclusive
+// cross-node claim: with a shared fleet data dir, in-memory duplicate checks
+// cover one process only, so the directory create (Mkdir, not MkdirAll) is
+// the arbiter — exactly one node wins, the rest see EEXIST and answer 409.
+func claimSessionDir(dir string) error {
+	if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+		return err
+	}
+	return os.Mkdir(dir, 0o755)
+}
+
 // saveSessionMeta atomically persists the creation record into the session
 // directory (creating it if needed).
 func saveSessionMeta(dir string, meta sessionMeta) error {
@@ -209,8 +220,16 @@ func (s *Server) recoverSession(meta sessionMeta, adopt *AdoptOptions) error {
 			// write is rejected terminally (runstate epoch fencing).
 			if _, err := sess.AdvanceOwnershipEpoch(adopt.Node); err != nil {
 				s.mu.Lock()
-				e.status = statusFailed
-				e.buildErr = fmt.Errorf("server: adopt %s: fence: %w", e.id, err)
+				if runstate.IsEpochRace(err) {
+					// Another node won the adoption CAS: it owns the session
+					// and has fenced us out. Step aside silently — keeping a
+					// local replica (or marking it failed) would advertise
+					// state we no longer own; ring convergence re-routes.
+					delete(s.sessions, e.id)
+				} else {
+					e.status = statusFailed
+					e.buildErr = fmt.Errorf("server: adopt %s: fence: %w", e.id, err)
+				}
 				s.mu.Unlock()
 				return
 			}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -192,4 +193,64 @@ func TestOverloadResponsesCarryRetryAfter(t *testing.T) {
 	if secs != 10 {
 		t.Errorf("Retry-After = %d, want the 10s eviction cadence", secs)
 	}
+}
+
+// postPinned issues a fleet-style pinned session create: the payload plus
+// the X-Rqp-Fleet-Session header a fronting node stamps.
+func postPinned(t *testing.T, baseURL, id, payload string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(FleetSessionHeader, id)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestPinnedCreateClaimsSessionDirOnDisk: the in-memory duplicate check only
+// covers one process, so with a shared fleet data dir the session directory
+// itself is the cross-node claim — a pinned create must 409 when another
+// node's directory already exists, and must not leave a half-registered
+// session behind locally.
+func TestPinnedCreateClaimsSessionDirOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	srv := NewWithConfig(Config{DataDir: dir})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	// Another node (unknown to this process's registry) already claimed the
+	// pinned ID on shared disk.
+	if err := os.Mkdir(filepath.Join(dir, "ftaken"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	resp := postPinned(t, ts.URL, "ftaken", `{"query":"2D_EQ","gridRes":4}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("create over a foreign on-disk claim: status %d, want 409", resp.StatusCode)
+	}
+	// The rejected create must not have registered the session locally.
+	var probe map[string]any
+	if got := getJSON(t, ts.URL+"/v1/sessions/ftaken", &probe); got.StatusCode != http.StatusNotFound {
+		t.Fatalf("rejected pinned create left a local session: status %d", got.StatusCode)
+	}
+
+	// A fresh pinned ID claims its directory and builds normally.
+	resp = postPinned(t, ts.URL, "ffresh", `{"query":"2D_EQ","gridRes":4}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh pinned create: status %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ffresh")); err != nil {
+		t.Fatalf("accepted pinned create did not claim its directory: %v", err)
+	}
+	// Re-creating it collides — in memory this time, same 409.
+	if resp := postPinned(t, ts.URL, "ffresh", `{"query":"2D_EQ","gridRes":4}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate pinned create: status %d, want 409", resp.StatusCode)
+	}
+	awaitReady(t, ts.URL, "ffresh")
 }

@@ -56,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -608,6 +609,33 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// the session (Recover) even if it dies mid-build.
 		e.dataDir = filepath.Join(s.cfg.DataDir, e.id)
 		opts.DataDir = e.dataDir
+		if pinned != "" {
+			// The in-memory duplicate check above only covers THIS process.
+			// With a shared fleet data dir, two nodes whose ring views
+			// diverged can both accept a create (or a create can race an
+			// adoption on another node) for the same pinned ID — so the
+			// session directory itself is the cross-node claim: exclusive
+			// Mkdir, 409 on EEXIST.
+			if err := claimSessionDir(e.dataDir); err != nil {
+				s.mu.Lock()
+				delete(s.sessions, e.id)
+				s.mu.Unlock()
+				cancel()
+				s.buildLimiter.Cancel()
+				s.metrics.setInflight("build", s.buildLimiter.Inflight())
+				if os.IsExist(err) {
+					// The build dependency was never exercised: release the
+					// breaker admission without recording an outcome.
+					s.breaker.Forget()
+					writeError(w, http.StatusConflict, codeBadRequest,
+						fmt.Errorf("session %q already exists in the shared data directory", pinned))
+					return
+				}
+				s.breaker.Record(false)
+				writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("claim session directory: %v", err))
+				return
+			}
+		}
 		if err := saveSessionMeta(e.dataDir, sessionMeta{ID: e.id, Query: sp.Name, GridRes: req.GridRes, Profile: req.Profile}); err != nil {
 			s.mu.Lock()
 			delete(s.sessions, e.id)
