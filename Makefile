@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet chaos resume-chaos fleet-smoke bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke trace-smoke atlas fuzz clean
+.PHONY: all build test race vet chaos resume-chaos fleet-smoke brownout-smoke bench sweep-strategies experiments metrics-smoke overload-smoke replay-smoke trace-smoke atlas fuzz clean
 
 all: vet build test
 
@@ -43,6 +43,18 @@ resume-chaos:
 # peer routed around and healed, fleet metrics accounted, no goroutine leak.
 fleet-smoke:
 	$(GO) run ./cmd/fleetsmoke
+
+# brownout-smoke is the fleet overload drill: boot a 3-node rqpd fleet with a
+# tiny run ceiling and a fast brownout tick, saturate one node's owner with a
+# concurrent sweep storm, and assert fleet-aware overload control end to end —
+# the owner's vitals gossip to its peers on heartbeats, peers shed traffic for
+# the saturated owner at the proxy edge (503 + the owner's advertised
+# Retry-After, owner untouched), hedging is suppressed under pressure, spent
+# X-Rqp-Retry-Budget requests are rejected before the wire, the staged
+# brownout ladder ascends under load and recovers to stage 0 afterwards with
+# the transitions recorded in the fleet trace, and no node leaks goroutines.
+brownout-smoke:
+	$(GO) run ./cmd/brownoutsmoke
 
 # bench runs the serial-vs-parallel ESS build comparison first, recording
 # the raw results in BENCH_build.json, then the selection-strategy

@@ -368,16 +368,8 @@ func run() error {
 
 	// --- Goroutine hygiene on the survivors. --------------------------------
 	for _, a := range survivors {
-		base := baseline[a]
-		err := smoke.Poll(fmt.Sprintf("goroutines on %s to settle near %d", a, base), 10*time.Second, 200*time.Millisecond, func() (bool, error) {
-			g, err := smoke.Goroutines("http://" + a)
-			if err != nil {
-				return false, err
-			}
-			return g <= base+10, nil
-		})
-		if err != nil {
-			return fmt.Errorf("goroutine leak: %w", err)
+		if _, err := smoke.AwaitGoroutineSettle("http://"+a, baseline[a], 10, 10*time.Second); err != nil {
+			return fmt.Errorf("goroutine leak on %s: %w", a, err)
 		}
 	}
 	return nil

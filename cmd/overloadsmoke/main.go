@@ -137,17 +137,12 @@ func run() error {
 
 	// Leak check: every admitted and every shed handler must have wound down.
 	// Allow a small margin for unrelated runtime goroutines.
-	return smoke.Poll("goroutines back to baseline", 10*time.Second, 100*time.Millisecond, func() (bool, error) {
-		n, err := smoke.Goroutines(base)
-		if err != nil {
-			return false, err
-		}
-		if n <= baseline+3 {
-			log.Printf("goroutines settled: baseline %d, now %d", baseline, n)
-			return true, nil
-		}
-		return false, nil
-	})
+	final, err := smoke.AwaitGoroutineSettle(base, baseline, 3, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	log.Printf("goroutines settled: baseline %d, now %d", baseline, final)
+	return nil
 }
 
 // scrapeGuards validates the exposition and the overload-control families.

@@ -10,7 +10,8 @@
 // The harness measures per-class p50/p95/p99 latency, status counts, a
 // per-class phase breakdown derived from each run response's typed event
 // stream (exec vs spill vs degraded cost units, checkpoint and retry
-// counts), and a guardrail census (watchdog aborts, ESS escapes, sheds,
+// counts), the per-class distribution of advertised Retry-After values, and
+// a guardrail census (watchdog aborts, ESS escapes, sheds,
 // breaker rejections), cross-checks the census against the daemon's own
 // /v1/metrics exposition, and emits a machine-readable JSON report. Every
 // response — successes and sheds alike — must carry a valid W3C
@@ -19,6 +20,12 @@
 // latency was recorded for the run class, zero traceparent violations were
 // seen, and the goroutine count settled back to its pre-replay baseline
 // (no leaked handlers).
+//
+// With -retries N the mixed-traffic phase turns closed-loop: an arrival
+// answered with 429/503 sleeps the server's advertised Retry-After (capped
+// by -retry-cap) and tries again, up to N times — measuring whether honoring
+// the advertised backoff actually clears the rejection. The report's retry
+// ledger counts attempts, successes-after-retry and exhausted budgets.
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -57,6 +65,10 @@ func main() {
 			"comma-separated strategy mix for clean runs; each arrival draws one uniformly (seeded), and the report breaks tail latency out per strategy")
 		targetsSpec = flag.String("targets", "",
 			"comma-separated addresses of an already-running fleet (host:port,...); arrivals are sprayed across them (seeded pick per arrival) and the report breaks latency out per node. Skips booting a local daemon and the shed/breaker/leak drills — the targets' limits are the operator's, not the harness's. Incompatible with -check")
+		retries = flag.Int("retries", 0,
+			"closed-loop retry budget per arrival: a shed/breaker response (429/503) is retried after sleeping its advertised Retry-After, up to this many times (0 = open-loop, never retry). Every attempt is recorded separately, so sheds stay visible in the census")
+		retryCap = flag.Duration("retry-cap", 2*time.Second,
+			"ceiling on how long one closed-loop retry sleeps, whatever Retry-After advertises (a 5m breaker cooldown should not stall the harness)")
 	)
 	flag.Parse()
 	mix, err := parseMix(*mixSpec)
@@ -67,7 +79,7 @@ func main() {
 	if len(targets) > 0 && *check {
 		log.Fatal("-check asserts the harness's own tightly-limited daemon hit every guardrail; it cannot hold against an external fleet (-targets)")
 	}
-	rep, err := run(*duration, *rate, *seed, mix, targets)
+	rep, err := run(*duration, *rate, *seed, mix, targets, *retries, *retryCap)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -141,6 +153,10 @@ type report struct {
 	Nodes   map[string]*classStats `json:"nodes,omitempty"`
 	// Guardrails is the census observed on the wire.
 	Guardrails guardrails `json:"guardrails"`
+	// Retry summarizes the closed-loop retry mode (-retries > 0 only): how
+	// many shed responses were retried after their advertised Retry-After,
+	// and how those retries ended.
+	Retry *retryStats `json:"retry,omitempty"`
 	// Daemon holds the cross-check scraped from /v1/metrics after the drills.
 	Daemon     daemonView `json:"daemon"`
 	Goroutines leakCheck  `json:"goroutines"`
@@ -173,6 +189,38 @@ type leakCheck struct {
 	Settled  bool `json:"settled"`
 }
 
+// retryStats is the closed-loop ledger: attempts spent on retries, arrivals
+// that succeeded only because a retry was granted, and arrivals still shed
+// when the budget ran out.
+type retryStats struct {
+	Attempts            int `json:"attempts"`
+	SuccessesAfterRetry int `json:"successes_after_retry"`
+	Exhausted           int `json:"exhausted"`
+}
+
+// distSummary is a small sample distribution (seconds) — used for the
+// per-class Retry-After values servers advertised, making the backoff the
+// fleet asked of its clients visible per traffic class.
+type distSummary struct {
+	Count int     `json:"count"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(samples []float64) *distSummary {
+	if len(samples) == 0 {
+		return nil
+	}
+	sort.Float64s(samples)
+	return &distSummary{
+		Count: len(samples),
+		Min:   samples[0],
+		P50:   percentile(samples, 0.50),
+		Max:   samples[len(samples)-1],
+	}
+}
+
 // classStats aggregates one traffic class.
 type classStats struct {
 	Count    int            `json:"count"`
@@ -183,8 +231,12 @@ type classStats struct {
 	// Phases is the class's run-phase breakdown, present once at least one
 	// completed run contributed an event stream.
 	Phases *phaseStats `json:"phases,omitempty"`
+	// RetryAfterS summarizes the Retry-After values (seconds) shed responses
+	// of this class advertised — the per-class backoff distribution.
+	RetryAfterS *distSummary `json:"retry_after_s,omitempty"`
 
 	lat []float64
+	ra  []float64
 }
 
 // phaseStats is the per-class phase breakdown derived from run responses'
@@ -278,6 +330,7 @@ type recorder struct {
 	strategies map[string]*classStats
 	nodes      map[string]*classStats
 	guard      guardrails
+	retry      retryStats
 }
 
 func newRecorder() *recorder {
@@ -334,6 +387,35 @@ func (rec *recorder) observe(class, strategy, node, outcome string, latency time
 	}
 }
 
+// observeRetryAfter records one advertised Retry-After (seconds) under the
+// class, feeding the per-class backoff distribution.
+func (rec *recorder) observeRetryAfter(class string, secs float64) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	cs := rec.classes[class]
+	if cs == nil {
+		cs = &classStats{Statuses: map[string]int{}}
+		rec.classes[class] = cs
+	}
+	cs.ra = append(cs.ra, secs)
+}
+
+// observeRetry tallies the closed-loop ledger for one arrival: how many
+// retry attempts it spent, and how it ended.
+func (rec *recorder) observeRetry(attempts int, finalOutcome string) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.retry.Attempts += attempts
+	if attempts == 0 {
+		return
+	}
+	if finalOutcome == "ok" {
+		rec.retry.SuccessesAfterRetry++
+	} else if finalOutcome == "shed" || finalOutcome == "breaker" {
+		rec.retry.Exhausted++
+	}
+}
+
 // observeTraceparent enforces the correlation contract on one response:
 // every response, shed or success, must carry a parseable Traceparent and a
 // non-empty X-Request-ID.
@@ -356,6 +438,7 @@ func (rec *recorder) snapshot() (classes, strategies, nodes map[string]*classSta
 			cs.P50Ms = percentile(cs.lat, 0.50)
 			cs.P95Ms = percentile(cs.lat, 0.95)
 			cs.P99Ms = percentile(cs.lat, 0.99)
+			cs.RetryAfterS = summarize(cs.ra)
 		}
 	}
 	return rec.classes, rec.strategies, rec.nodes, rec.guard
@@ -418,7 +501,7 @@ func pick(rng *rand.Rand, seed int64, mix []string) trafficEvent {
 	}
 }
 
-func run(duration time.Duration, rate float64, seed int64, mix, targets []string) (*report, error) {
+func run(duration time.Duration, rate float64, seed int64, mix, targets []string, maxRetries int, retryCap time.Duration) (*report, error) {
 	// The bases traffic is fired at: the -targets fleet as handed to us, or
 	// one tightly-limited daemon the harness boots itself.
 	var bases []string
@@ -502,7 +585,7 @@ func run(duration time.Duration, rate float64, seed int64, mix, targets []string
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			fire(nodeBase, node, id, ev, rec)
+			fire(nodeBase, node, id, ev, rec, maxRetries, retryCap)
 		}()
 	}
 	wg.Wait()
@@ -518,7 +601,9 @@ func run(duration time.Duration, rate float64, seed int64, mix, targets []string
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				fire(base, "", id, trafficEvent{class: "sweep:burst", sweepMax: 0}, rec)
+				// The shed drill stays open-loop regardless of -retries: it
+				// exists to overflow the run ceiling, not to recover from it.
+				fire(base, "", id, trafficEvent{class: "sweep:burst", sweepMax: 0}, rec, 0, retryCap)
 			}()
 		}
 		wg.Wait()
@@ -532,14 +617,10 @@ func run(duration time.Duration, rate float64, seed int64, mix, targets []string
 		}
 
 		// Settle: the burst's handlers must wind down, not linger.
-		settleErr := smoke.Poll("goroutines back to baseline", 15*time.Second, 100*time.Millisecond, func() (bool, error) {
-			n, err := smoke.Goroutines(base)
-			if err != nil {
-				return false, err
-			}
+		n, settleErr := smoke.AwaitGoroutineSettle(base, baseline, 5, 15*time.Second)
+		if n >= 0 {
 			final = n
-			return n <= baseline+5, nil
-		})
+		}
 		settled = settleErr == nil
 	}
 
@@ -566,17 +647,59 @@ func run(duration time.Duration, rate float64, seed int64, mix, targets []string
 		Classes: classes, Strategies: strategies, Nodes: nodes, Guardrails: guard, Daemon: *daemon,
 		Goroutines: leakCheck{Baseline: baseline, Final: final, Settled: settled},
 	}
+	if maxRetries > 0 {
+		rec.mu.Lock()
+		retry := rec.retry
+		rec.mu.Unlock()
+		rep.Retry = &retry
+	}
 	log.Printf("census: %d watchdog aborts, %d escapes, %d sheds, %d breaker rejections, %d crashes",
 		guard.WatchdogAborts, guard.ESSEscapes, guard.Sheds, guard.BreakerRejections, guard.Crashes)
 	return rep, nil
 }
 
 // fire executes one traffic event against base (attributed to node in the
-// per-node breakdown when spraying a fleet) and records its outcome.
-// Contract outcomes: ok (200), shed (429), breaker (503), timeout (504);
-// anything else is an unexpected failure. Every response's correlation
-// headers are checked regardless of outcome.
-func fire(base, node, sessionID string, ev trafficEvent, rec *recorder) {
+// per-node breakdown when spraying a fleet) and records its outcome. In
+// closed-loop mode (maxRetries > 0) a shed or breaker response is retried
+// after sleeping the server's advertised Retry-After (capped at retryCap),
+// up to the budget. Every attempt is recorded separately — a retried shed is
+// still a shed in the census; the retry ledger tracks how the loop ended.
+func fire(base, node, sessionID string, ev trafficEvent, rec *recorder, maxRetries int, retryCap time.Duration) {
+	attempts := 0
+	for {
+		outcome, headers := fireOnce(base, node, sessionID, ev, rec)
+		shed := outcome == "shed" || outcome == "breaker"
+		raSecs := -1.0
+		if headers != nil {
+			if v, err := strconv.Atoi(headers.Get("Retry-After")); err == nil {
+				raSecs = float64(v)
+				if shed {
+					rec.observeRetryAfter(ev.class, raSecs)
+				}
+			}
+		}
+		if !shed || attempts >= maxRetries {
+			rec.observeRetry(attempts, outcome)
+			return
+		}
+		attempts++
+		// Honor the advertised backoff, bounded: the harness must not stall
+		// minutes on a breaker cooldown to prove it listened.
+		sleep := retryCap
+		if raSecs >= 0 {
+			if d := time.Duration(raSecs * float64(time.Second)); d < sleep {
+				sleep = d
+			}
+		}
+		time.Sleep(sleep)
+	}
+}
+
+// fireOnce performs a single attempt of one traffic event. Contract
+// outcomes: ok (200), shed (429), breaker (503), timeout (504); anything
+// else is an unexpected failure. Every response's correlation headers are
+// checked regardless of outcome.
+func fireOnce(base, node, sessionID string, ev trafficEvent, rec *recorder) (string, http.Header) {
 	var (
 		status  int
 		headers http.Header
@@ -627,6 +750,7 @@ func fire(base, node, sessionID string, ev trafficEvent, rec *recorder) {
 		outcome = "timeout"
 	}
 	rec.observe(ev.class, ev.strategy, node, outcome, latency, events, verdict)
+	return outcome, headers
 }
 
 // breakerDrill runs breakerThreshold consecutive CHAOS_FAIL builds (each

@@ -30,6 +30,15 @@
 // bulkheads, a -breaker-threshold build circuit breaker; excess work is shed
 // with 429/503 + Retry-After), and graceful shutdown on SIGINT/SIGTERM
 // (in-flight session builds are canceled).
+//
+// In fleet mode (-peers) nodes also gossip load vitals on their heartbeats:
+// the proxy sheds traffic bound for a saturated owner at the edge
+// (-shed-pressure) quoting the owner's own Retry-After hint, hedging is
+// suppressed near saturation (-hedge-pressure), a per-request retry budget
+// (-retry-budget, threaded via X-Rqp-Retry-Budget) caps cross-fleet
+// fan-out, and a staged brownout controller (-brownout) progressively
+// disables hedging and trace sampling, then sheds expensive reads, builds,
+// and finally runs under sustained fleet-wide pressure.
 package main
 
 import (
@@ -70,6 +79,11 @@ func main() {
 	hbDown := flag.Int("heartbeat-down", 3, "consecutive probe failures that mark a peer down")
 	hbUp := flag.Int("heartbeat-up", 2, "consecutive probe successes that mark a down peer back up")
 	hedgeDelay := flag.Duration("hedge-delay", 150*time.Millisecond, "delay before hedging a slow proxied idempotent read (negative disables)")
+	brownout := flag.Bool("brownout", true, "staged brownout under fleet pressure: progressively disable hedging/trace sampling, then shed expensive reads, builds, and finally runs (fleet mode only; single-node rqpd never browns out)")
+	brownoutInterval := flag.Duration("brownout-interval", time.Second, "brownout controller tick cadence")
+	shedPressure := flag.Float64("shed-pressure", 0.9, "gossiped owner pressure at which the proxy sheds at the edge instead of forwarding (≥1 disables)")
+	hedgePressure := flag.Float64("hedge-pressure", 0.6, "gossiped owner pressure at which proxied-read hedging is suppressed")
+	retryBudget := flag.Int("retry-budget", 3, "wire attempts (primary+retry+hedge) one proxied request may spend across the fleet; threaded via X-Rqp-Retry-Budget")
 	flag.Parse()
 
 	api := server.NewWithConfig(server.Config{
@@ -84,6 +98,11 @@ func main() {
 		BreakerThreshold:    *breakerThreshold,
 		BreakerCooldown:     *breakerCooldown,
 		TraceSample:         *traceSample,
+		// Brownout is a fleet behavior: a single node has no gossip to steer
+		// by, and the single-node API must stay byte-identical. The controller
+		// is only constructed (and its loop only started) in fleet mode.
+		Brownout:         *peers != "" && *brownout,
+		BrownoutInterval: *brownoutInterval,
 	})
 	api.StartEviction()
 	defer api.Close()
@@ -108,10 +127,14 @@ func main() {
 			MarkUp:            *hbUp,
 			ProxyTimeout:      *reqTimeout,
 			HedgeDelay:        *hedgeDelay,
+			ShedPressure:      *shedPressure,
+			HedgePressure:     *hedgePressure,
+			RetryBudget:       *retryBudget,
 		}, api)
 		if err != nil {
 			log.Fatalf("rqpd fleet: %v", err)
 		}
+		api.StartBrownout()
 	} else if *dataDir != "" {
 		// Single-node restart recovery. A fleet node skips it: its initial
 		// orphan scan adopts exactly the sessions the ring assigns it, so a

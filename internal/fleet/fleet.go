@@ -65,6 +65,21 @@ type Config struct {
 	HedgeDelay time.Duration
 	// Replicas is the virtual-node count per ring member (default 64).
 	Replicas int
+	// ShedPressure is the owner-pressure threshold at or above which the
+	// proxy rejects at the edge instead of forwarding — the cheapest
+	// rejection point, sparing the saturated owner the request entirely
+	// (default 0.9; ≥ 1 never edge-sheds on pressure alone).
+	ShedPressure float64
+	// HedgePressure is the owner-pressure threshold at or above which
+	// hedging is suppressed: a hedge against a struggling owner is pure
+	// load amplification (default 0.6).
+	HedgePressure float64
+	// RetryBudget caps the wire attempts (primary + retry + hedge) one
+	// request may spend across the fleet, and is threaded through the
+	// X-Rqp-Retry-Budget header so client-side retry storms cannot fan out
+	// unboundedly (default 3). An incoming header may lower the cap for a
+	// given request, never raise it.
+	RetryBudget int
 }
 
 // withDefaults returns the config with unset knobs defaulted.
@@ -92,6 +107,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Replicas < 1 {
 		c.Replicas = defaultReplicas
+	}
+	if c.ShedPressure <= 0 {
+		c.ShedPressure = 0.9
+	}
+	if c.HedgePressure <= 0 {
+		c.HedgePressure = 0.6
+	}
+	if c.RetryBudget < 1 {
+		c.RetryBudget = 3
 	}
 	return c
 }
@@ -132,10 +156,11 @@ type Node struct {
 // fleetMetrics are the fabric's instruments, registered on the SERVER's
 // registry so one /v1/metrics scrape covers both layers.
 type fleetMetrics struct {
-	peersLive *telemetry.Gauge
-	proxy     *telemetry.CounterVec
-	failovers *telemetry.Counter
-	hedges    *telemetry.Counter
+	peersLive  *telemetry.Gauge
+	proxy      *telemetry.CounterVec
+	proxySheds *telemetry.CounterVec
+	failovers  *telemetry.Counter
+	hedges     *telemetry.Counter
 }
 
 // New wires a node over its server. The server must share cfg.DataDir, and
@@ -178,11 +203,26 @@ func New(cfg Config, srv *server.Server) (*Node, error) {
 			"Fleet members currently considered live (self included)."),
 		proxy: reg.CounterVec("rqp_proxy_requests_total",
 			"Requests proxied to a peer by outcome (ok, client_error, shed, error).", "outcome"),
+		proxySheds: reg.CounterVec("rqp_proxy_sheds_total",
+			"Requests rejected at the proxy edge before reaching the owner, by reason (pressure, retry_budget).",
+			"reason"),
 		failovers: reg.Counter("rqp_failovers_total",
 			"Orphaned durable runs resumed by this node after their owner was marked down."),
 		hedges: reg.Counter("rqp_hedges_total",
 			"Hedge requests launched for slow idempotent reads."),
 	}
+	// Pre-touch the edge-shed reasons so the family renders before the
+	// first rejection (drills scrape deltas).
+	n.metrics.proxySheds.With("pressure").Add(0)
+	n.metrics.proxySheds.With("retry_budget").Add(0)
+	// Fleet-aware overload hooks: the server's brownout tick folds in the
+	// fleet pressure aggregate, and stage transitions are recorded into the
+	// membership timeline (zero-width markers under the fleet trace ID).
+	srv.SetFleetPressure(n.fleetPressureAggregate)
+	srv.OnBrownoutStage(func(from, to int) {
+		n.rec.Record(telemetry.Event{Kind: telemetry.BrownoutStage, Contour: to, Dim: from, Detail: n.cfg.Self})
+		n.publishFleetTrace()
+	})
 	n.membership = newMembership(cfg.Self, cfg.Peers, cfg.HeartbeatInterval, cfg.ProbeTimeout,
 		cfg.MaxBackoff, cfg.MarkDown, cfg.MarkUp, n.onTransition)
 	n.metrics.peersLive.Set(float64(n.membership.LiveCount()))
@@ -283,6 +323,7 @@ func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/fleet/health", n.handleHealth)
 	mux.HandleFunc("GET /v1/fleet/peers", n.handlePeers)
+	mux.HandleFunc("GET /v1/fleet/vitals", n.handleVitals)
 	mux.HandleFunc("GET /v1/fleet/route", n.handleRoute)
 	mux.HandleFunc("POST /v1/fleet/faults", n.handleFaults)
 	mux.HandleFunc("/", n.route)
@@ -305,6 +346,9 @@ func (n *Node) fleetJSON(w http.ResponseWriter, status int, v any) {
 // handleHealth answers heartbeat probes. It consults the node's chaos plan
 // first: with heartbeat dropping injected, the node answers 503 — alive but
 // unreachable as far as the fleet can tell, the asymmetric-partition case.
+// Healthy responses piggyback the node's load vitals: heartbeats ARE the
+// gossip channel, so saturation news travels at probe cadence with zero
+// extra traffic.
 func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if err := n.plan.OnHeartbeat(); err != nil {
 		n.fleetJSON(w, http.StatusServiceUnavailable, map[string]string{
@@ -312,7 +356,47 @@ func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	n.fleetJSON(w, http.StatusOK, map[string]string{"node": n.cfg.Self, "status": "ok"})
+	v := n.srv.Vitals()
+	v.Node = n.cfg.Self
+	n.fleetJSON(w, http.StatusOK, healthResponse{Node: n.cfg.Self, Status: "ok", Vitals: &v})
+}
+
+// handleVitals serves the node's fleet-wide load view: its own vitals, every
+// fresh gossiped peer snapshot, and the derived pressure figures feeding the
+// brownout controller — the operator's window into WHY a stage moved.
+func (n *Node) handleVitals(w http.ResponseWriter, r *http.Request) {
+	self := n.srv.Vitals()
+	self.Node = n.cfg.Self
+	peers := n.membership.PeerVitalsSnapshot()
+	peerOut := map[string]any{}
+	for addr, v := range peers {
+		peerOut[addr] = map[string]any{"vitals": v, "pressure": v.Pressure()}
+	}
+	n.fleetJSON(w, http.StatusOK, map[string]any{
+		"self":          self,
+		"selfPressure":  self.Pressure(),
+		"peers":         peerOut,
+		"fleetPressure": n.fleetPressureAggregate(),
+		"brownoutStage": n.srv.Stage(),
+	})
+}
+
+// fleetPressureAggregate folds the fresh gossiped peer pressures into one
+// scalar: the mean over peers with known vitals (0 when nothing is fresh —
+// unknown load must not brown the node out). The brownout tick maxes this
+// with the node's own local pressure, so a node browns out when IT is
+// saturated or when the fleet around it is drowning — the latter matters
+// because proxied load re-hashes to survivors the moment an owner dies.
+func (n *Node) fleetPressureAggregate() float64 {
+	peers := n.membership.PeerVitalsSnapshot()
+	if len(peers) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range peers {
+		sum += v.Pressure()
+	}
+	return sum / float64(len(peers))
 }
 
 // handlePeers serves the membership snapshot.

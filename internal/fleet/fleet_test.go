@@ -76,14 +76,14 @@ func TestMembershipHysteresis(t *testing.T) {
 	if got := m.Live(); len(got) != 2 {
 		t.Fatalf("fresh membership live set: %v", got)
 	}
-	m.observe("peer:1", false, fail)
-	m.observe("peer:1", true, nil) // a success resets the failure streak
-	m.observe("peer:1", false, fail)
-	m.observe("peer:1", false, fail)
+	m.observe("peer:1", false, nil, fail)
+	m.observe("peer:1", true, nil, nil) // a success resets the failure streak
+	m.observe("peer:1", false, nil, fail)
+	m.observe("peer:1", false, nil, fail)
 	if len(transitions) != 0 {
 		t.Fatalf("peer marked down before %d consecutive failures: %v", 3, transitions)
 	}
-	next := m.observe("peer:1", false, fail) // third consecutive: down
+	next := m.observe("peer:1", false, nil, fail) // third consecutive: down
 	if len(transitions) != 1 || transitions[0] != "peer:1=false" {
 		t.Fatalf("mark-down transition missing: %v", transitions)
 	}
@@ -91,18 +91,18 @@ func TestMembershipHysteresis(t *testing.T) {
 		t.Fatalf("first down-probe delay %v, want the base interval", next)
 	}
 	// Backoff doubles while down, capped.
-	if next = m.observe("peer:1", false, fail); next != 20*time.Millisecond {
+	if next = m.observe("peer:1", false, nil, fail); next != 20*time.Millisecond {
 		t.Fatalf("backoff after second down-probe = %v, want 20ms", next)
 	}
 	for i := 0; i < 6; i++ {
-		next = m.observe("peer:1", false, fail)
+		next = m.observe("peer:1", false, nil, fail)
 	}
 	if next != 80*time.Millisecond {
 		t.Fatalf("backoff not capped: %v", next)
 	}
 
 	// One success is not enough to rejoin (MarkUp=2)...
-	m.observe("peer:1", true, nil)
+	m.observe("peer:1", true, nil, nil)
 	if len(transitions) != 1 {
 		t.Fatalf("peer rejoined after a single success: %v", transitions)
 	}
@@ -110,7 +110,7 @@ func TestMembershipHysteresis(t *testing.T) {
 		t.Fatalf("down peer still in live set: %v", got)
 	}
 	// ...two are.
-	if next = m.observe("peer:1", true, nil); next != 10*time.Millisecond {
+	if next = m.observe("peer:1", true, nil, nil); next != 10*time.Millisecond {
 		t.Fatalf("probe cadence after recovery = %v, want the base interval", next)
 	}
 	if len(transitions) != 2 || transitions[1] != "peer:1=true" {

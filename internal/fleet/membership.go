@@ -2,10 +2,14 @@ package fleet
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // Membership tracks the liveness of the fleet's peers by periodic heartbeat
@@ -40,7 +44,8 @@ type Membership struct {
 	wg   sync.WaitGroup
 }
 
-// member is one probed peer's hysteresis state.
+// member is one probed peer's hysteresis state plus its last gossiped load
+// vitals (heartbeat responses piggyback the peer's vitals payload).
 type member struct {
 	addr     string
 	live     bool
@@ -50,6 +55,13 @@ type member struct {
 	lastErr  string
 	probes   int
 	lastSeen time.Time
+
+	// vitals is the peer's last advertised load snapshot; vitalsAt is when
+	// the advertising probe landed (zero = never). Consumers must treat
+	// vitals older than the staleness bound as unknown — routing decisions
+	// on stale saturation data would shed against a peer that recovered.
+	vitals   guard.Vitals
+	vitalsAt time.Time
 }
 
 // PeerStatus is the externally visible liveness record of one fleet member
@@ -127,37 +139,52 @@ func (m *Membership) probeLoop(addr string) {
 			return
 		case <-timer.C:
 		}
-		ok, err := m.probe(addr)
-		next := m.observe(addr, ok, err)
+		ok, vitals, err := m.probe(addr)
+		next := m.observe(addr, ok, vitals, err)
 		timer.Reset(next)
 	}
 }
 
+// healthResponse is the heartbeat payload: liveness plus the gossiped load
+// vitals (see Node.handleHealth).
+type healthResponse struct {
+	Node   string        `json:"node"`
+	Status string        `json:"status"`
+	Vitals *guard.Vitals `json:"vitals,omitempty"`
+}
+
 // probe performs one heartbeat: any 2xx body counts as alive, anything else
 // (timeout, refused connection, 503 from a fault-injected handler) counts
-// as a failure.
-func (m *Membership) probe(addr string) (bool, error) {
+// as a failure. A successful probe's body carries the peer's load vitals —
+// the gossip channel — returned for observe to cache.
+func (m *Membership) probe(addr string) (bool, *guard.Vitals, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), m.timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/fleet/health", nil)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	resp, err := m.client.Do(req)
 	if err != nil {
-		return false, err
+		return false, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return false, fmt.Errorf("health probe: status %d", resp.StatusCode)
+		return false, nil, fmt.Errorf("health probe: status %d", resp.StatusCode)
 	}
-	return true, nil
+	var hr healthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&hr); err != nil {
+		// An alive peer with an undecodable body (older build mid-rolling-
+		// restart) is still alive; it just has no vitals to gossip.
+		return true, nil, nil
+	}
+	return true, hr.Vitals, nil
 }
 
 // observe feeds one probe outcome into the hysteresis state and returns the
 // delay until the peer's next probe. Transitions fire the callback outside
 // the lock.
-func (m *Membership) observe(addr string, ok bool, err error) time.Duration {
+func (m *Membership) observe(addr string, ok bool, vitals *guard.Vitals, err error) time.Duration {
 	m.mu.Lock()
 	p := m.peers[addr]
 	if p == nil {
@@ -173,6 +200,10 @@ func (m *Membership) observe(addr string, ok bool, err error) time.Duration {
 		p.lastErr = ""
 		p.lastSeen = time.Now()
 		p.backoff = 0
+		if vitals != nil {
+			p.vitals = *vitals
+			p.vitalsAt = p.lastSeen
+		}
 		if !p.live && p.oks >= m.markUp {
 			p.live, transition, nowLive = true, true, true
 		}
@@ -206,6 +237,54 @@ func (m *Membership) observe(addr string, ok bool, err error) time.Duration {
 		m.onTransition(addr, nowLive)
 	}
 	return next
+}
+
+// vitalsStaleAfter is the gossip staleness bound in heartbeat intervals: a
+// cached vitals snapshot older than this is treated as unknown rather than
+// acted on — edge-shedding against a peer on data three probes old would
+// keep rejecting after the peer recovered.
+const vitalsStaleAfter = 3
+
+// PeerVitals returns the peer's last gossiped vitals, when fresh (cached
+// within vitalsStaleAfter heartbeat intervals). ok is false for self,
+// unknown addresses, never-probed peers, and stale caches.
+func (m *Membership) PeerVitals(addr string) (guard.Vitals, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := m.peers[addr]
+	if p == nil || p.vitalsAt.IsZero() {
+		return guard.Vitals{}, false
+	}
+	if time.Since(p.vitalsAt) > vitalsStaleAfter*m.interval {
+		return guard.Vitals{}, false
+	}
+	return p.vitals, true
+}
+
+// PeerVitalsSnapshot returns every live peer's fresh vitals keyed by
+// address (self excluded — the caller owns its local snapshot).
+func (m *Membership) PeerVitalsSnapshot() map[string]guard.Vitals {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]guard.Vitals{}
+	now := time.Now()
+	for addr, p := range m.peers {
+		if !p.live || p.vitalsAt.IsZero() || now.Sub(p.vitalsAt) > vitalsStaleAfter*m.interval {
+			continue
+		}
+		out[addr] = p.vitals
+	}
+	return out
+}
+
+// setPeerVitals force-caches a peer's vitals (tests).
+func (m *Membership) setPeerVitals(addr string, v guard.Vitals) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p := m.peers[addr]; p != nil {
+		p.vitals = v
+		p.vitalsAt = time.Now()
+	}
 }
 
 // Live returns the live node set, self always included, sorted by the map

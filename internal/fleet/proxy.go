@@ -11,8 +11,10 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/guard"
 	"repro/internal/trace"
 )
 
@@ -26,6 +28,51 @@ const ForwardedHeader = "X-Rqp-Forwarded"
 // the owner's handlers see the same budget the front door promised the
 // client instead of restarting the clock per hop.
 const DeadlineHeader = "X-Rqp-Deadline"
+
+// RetryBudgetHeader carries the remaining wire-attempt budget across hops.
+// Every attempt the proxy makes (primary, retry, hedge) spends one token;
+// the decremented remainder is stamped on each outbound request. An incoming
+// header can only LOWER the per-request cap — a client cannot mint itself a
+// bigger fan-out — and a request arriving with a spent budget is rejected
+// before it touches the wire, which is what stops a retry storm from
+// amplifying through the fleet.
+const RetryBudgetHeader = "X-Rqp-Retry-Budget"
+
+// errBudgetExhausted reports a wire attempt suppressed because the request's
+// retry-budget pool ran dry.
+var errBudgetExhausted = fmt.Errorf("fleet: retry budget exhausted")
+
+// retryTokens is one proxied request's wire-attempt budget: a shared atomic
+// pool the primary, retry, and hedge attempts all draw from, so their sum can
+// never exceed the cap no matter how the race interleaves.
+type retryTokens struct{ left atomic.Int64 }
+
+func newRetryTokens(cap int) *retryTokens {
+	t := &retryTokens{}
+	t.left.Store(int64(cap))
+	return t
+}
+
+// take spends one token; false when the pool is dry.
+func (t *retryTokens) take() bool {
+	for {
+		cur := t.left.Load()
+		if cur <= 0 {
+			return false
+		}
+		if t.left.CompareAndSwap(cur, cur-1) {
+			return true
+		}
+	}
+}
+
+// remaining reports the unspent tokens (floor 0).
+func (t *retryTokens) remaining() int {
+	if r := t.left.Load(); r > 0 {
+		return int(r)
+	}
+	return 0
+}
 
 // proxyMaxBody caps the request body a node will buffer for proxying —
 // matching the server's own request-body limit, so the proxy can replay the
@@ -68,6 +115,44 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 		return
 	}
 
+	// Retry-budget gate: the per-request wire-attempt cap, lowered (never
+	// raised) by an incoming X-Rqp-Retry-Budget. A request arriving with no
+	// budget left is rejected here, before any wire attempt — the
+	// anti-amplification backstop against client retry storms.
+	budgetCap := n.cfg.RetryBudget
+	if h := r.Header.Get(RetryBudgetHeader); h != "" {
+		if v, err := strconv.Atoi(h); err == nil && v < budgetCap {
+			budgetCap = v
+		}
+	}
+	if budgetCap <= 0 {
+		n.metrics.proxySheds.With("retry_budget").Inc()
+		n.metrics.proxy.With("shed").Inc()
+		n.setShedRetryAfter(w, ceilSeconds(n.cfg.HeartbeatInterval))
+		n.proxyShed(w, http.StatusTooManyRequests, "retry_budget_exhausted",
+			fmt.Sprintf("fleet: retry budget exhausted for peer %s; back off before retrying", owner))
+		return
+	}
+	tokens := newRetryTokens(budgetCap)
+
+	// Edge shed: when gossip says the owner is saturated, reject HERE — the
+	// cheapest rejection point, sparing the drowning owner even the cost of
+	// saying no. The owner's own advertised Retry-After hint (jittered per
+	// request) tells the client when pressure plausibly recedes. Stale or
+	// missing vitals never shed: unknown load is not overload.
+	ownerPressure := 0.0
+	if v, ok := n.membership.PeerVitals(owner); ok {
+		ownerPressure = v.Pressure()
+		if ownerPressure >= n.cfg.ShedPressure {
+			n.metrics.proxySheds.With("pressure").Inc()
+			n.metrics.proxy.With("shed").Inc()
+			n.setShedRetryAfter(w, v.RetryAfterHint)
+			n.proxyShed(w, http.StatusServiceUnavailable, "owner_overloaded",
+				fmt.Sprintf("fleet: peer %s is shedding load (pressure %.2f); retry after the advertised delay", owner, ownerPressure))
+			return
+		}
+	}
+
 	// One deadline spans the whole proxied exchange, hedges included; an
 	// upstream hop's deadline (we are never >1 hop deep, but a client may
 	// set one) caps it.
@@ -85,7 +170,13 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 
 	idempotent := r.Method == http.MethodGet || r.Method == http.MethodHead
 
-	resp, release, err := n.forward(ctx, r, owner, body, deadline, idempotent)
+	// Hedge suppression: a hedge is a deliberate load amplifier, exactly the
+	// wrong reflex under pressure. Suppress it when this node is itself
+	// browning out (stage ≥ 1) or when gossip puts the owner anywhere near
+	// saturation — tail latency is the acceptable casualty of an overload.
+	hedge := idempotent && n.srv.Stage() < 1 && ownerPressure < n.cfg.HedgePressure
+
+	resp, release, err := n.forward(ctx, r, owner, body, deadline, idempotent, hedge, tokens)
 	if err != nil {
 		n.metrics.proxy.With("error").Inc()
 		// The owner is unreachable (or the budget expired). Tell the client
@@ -129,17 +220,22 @@ func (n *Node) proxy(w http.ResponseWriter, r *http.Request, owner string) {
 }
 
 // forward performs the outbound exchange against owner: the primary
-// attempt, a single transport-error retry for idempotent requests (the
-// read-class retry budget; writes have none), and a single hedge launched
-// after HedgeDelay when the primary is slow — or immediately when the
-// primary dies before the delay elapses. First response wins; only the
-// loser's context is canceled. The returned release func (non-nil exactly
-// when resp is from a hedged race) cancels the WINNER's context and must be
-// called only after resp.Body has been fully consumed — canceling earlier
-// kills the body read mid-stream.
-func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, idempotent bool) (*http.Response, context.CancelFunc, error) {
+// attempt, a single transport-error retry for idempotent requests (writes
+// get none), and — when hedging is allowed — a single hedge launched after
+// HedgeDelay when the primary is slow, or immediately when the primary dies
+// before the delay elapses. Every wire attempt first spends a token from the
+// request's shared retry budget; a dry pool suppresses retries and hedges
+// alike, so primary+retry+hedge can never exceed the cap. First response
+// wins; only the loser's context is canceled. The returned release func
+// (non-nil exactly when resp is from a hedged race) cancels the WINNER's
+// context and must be called only after resp.Body has been fully consumed —
+// canceling earlier kills the body read mid-stream.
+func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, idempotent, hedge bool, tokens *retryTokens) (*http.Response, context.CancelFunc, error) {
 	attempt := func(ctx context.Context) (*http.Response, error) {
-		out, err := n.outboundRequest(ctx, r, owner, body, deadline)
+		if !tokens.take() {
+			return nil, errBudgetExhausted
+		}
+		out, err := n.outboundRequest(ctx, r, owner, body, deadline, tokens.remaining())
 		if err != nil {
 			return nil, err
 		}
@@ -147,17 +243,20 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 		if err == nil || !idempotent || ctx.Err() != nil {
 			return resp, err
 		}
-		// Read-class retry budget: one immediate retry on a transport
-		// error. GETs are idempotent and the error means no response was
-		// produced, so a duplicate is safe.
-		out, rerr := n.outboundRequest(ctx, r, owner, body, deadline)
+		// Read-class retry: one immediate retry on a transport error, budget
+		// permitting. GETs are idempotent and the error means no response
+		// was produced, so a duplicate is safe.
+		if !tokens.take() {
+			return nil, err
+		}
+		out, rerr := n.outboundRequest(ctx, r, owner, body, deadline, tokens.remaining())
 		if rerr != nil {
 			return nil, err
 		}
 		return n.client.Do(out)
 	}
 
-	if !idempotent || n.cfg.HedgeDelay < 0 {
+	if !hedge || n.cfg.HedgeDelay < 0 {
 		resp, err := attempt(ctx)
 		return resp, nil, err
 	}
@@ -213,8 +312,10 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 		case <-hedgeTimer.C:
 			if !launched {
 				launched = true
-				n.metrics.hedges.Inc()
-				launch(1)
+				if tokens.remaining() > 0 {
+					n.metrics.hedges.Inc()
+					launch(1)
+				}
 			}
 		case res := <-results:
 			pending--
@@ -234,12 +335,15 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 			}
 			if !launched {
 				// The primary died before the hedge fired: launch the hedge
-				// immediately rather than waiting out the delay.
+				// immediately rather than waiting out the delay (budget
+				// permitting).
 				launched = true
 				hedgeTimer.Stop()
-				n.metrics.hedges.Inc()
-				launch(1)
-				continue
+				if tokens.remaining() > 0 {
+					n.metrics.hedges.Inc()
+					launch(1)
+					continue
+				}
 			}
 			if pending == 0 {
 				return nil, nil, firstErr
@@ -257,9 +361,9 @@ func (n *Node) forward(ctx context.Context, r *http.Request, owner string, body 
 }
 
 // outboundRequest builds one proxied attempt: same method/path/query against
-// the owner, headers copied minus hop-by-hop, forwarding marker and deadline
-// stamped, body replayed from the buffer.
-func (n *Node) outboundRequest(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time) (*http.Request, error) {
+// the owner, headers copied minus hop-by-hop, forwarding marker, deadline and
+// remaining retry budget stamped, body replayed from the buffer.
+func (n *Node) outboundRequest(ctx context.Context, r *http.Request, owner string, body []byte, deadline time.Time, budgetLeft int) (*http.Request, error) {
 	u := *r.URL
 	u.Scheme = "http"
 	u.Host = owner
@@ -275,6 +379,7 @@ func (n *Node) outboundRequest(ctx context.Context, r *http.Request, owner strin
 	}
 	out.Header.Set(ForwardedHeader, n.cfg.Self)
 	out.Header.Set(DeadlineHeader, deadline.UTC().Format(time.RFC3339Nano))
+	out.Header.Set(RetryBudgetHeader, strconv.Itoa(budgetLeft))
 	return out, nil
 }
 
@@ -310,6 +415,25 @@ func (n *Node) proxyError(w http.ResponseWriter, status int, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]map[string]string{"error": {
 		"code":    "peer_unreachable",
 		"message": err.Error(),
+		"traceId": w.Header().Get("X-Request-ID"),
+	}})
+}
+
+// setShedRetryAfter stamps a shed response's Retry-After: the advertised
+// base plus the deterministic per-request jitter that de-synchronizes the
+// herd of rejected clients (same discipline as the server's own sheds).
+func (n *Node) setShedRetryAfter(w http.ResponseWriter, base int) {
+	w.Header().Set("Retry-After",
+		strconv.Itoa(guard.JitterRetryAfter(w.Header().Get("X-Request-ID"), base)))
+}
+
+// proxyShed writes an edge-shed rejection in the server's envelope shape.
+func (n *Node) proxyShed(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]map[string]string{"error": {
+		"code":    code,
+		"message": msg,
 		"traceId": w.Header().Get("X-Request-ID"),
 	}})
 }

@@ -23,10 +23,16 @@ const atlasDefaultPerRegime = 1
 // session bulkhead as run/sweep requests. format=svg renders the heatmap
 // lattice with guard overlays; the default is the JSON render data.
 func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
+	// Brownout stage 2 sheds the expensive read surface; the atlas sweep is
+	// the most expensive read the API offers.
+	if s.Stage() >= 2 {
+		s.shedBrownout(w, "run")
+		return
+	}
 	q := r.URL.Query()
 	id := q.Get("session")
 	if id == "" {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("missing session parameter"))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("missing session parameter"))
 		return
 	}
 	s.mu.Lock()
@@ -36,7 +42,7 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no session %q", id))
+		s.writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no session %q", id))
 		return
 	}
 	sess, ok := s.ready(w, e)
@@ -44,7 +50,7 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if e.d != 2 {
-		writeError(w, http.StatusBadRequest, codeBadRequest,
+		s.writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Errorf("the robustness atlas needs a 2D session; %s is %dD", e.id, e.d))
 		return
 	}
@@ -74,18 +80,18 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 	}
 	seed, err := intParam(q.Get("seed"), 1)
 	if err != nil || seed < 1 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad seed %q", q.Get("seed")))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad seed %q", q.Get("seed")))
 		return
 	}
 	perRegime, err := intParam(q.Get("perRegime"), atlasDefaultPerRegime)
 	if err != nil || perRegime < 1 || perRegime > 16 {
-		writeError(w, http.StatusBadRequest, codeBadRequest,
+		s.writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Errorf("bad perRegime %q (want 1..16)", q.Get("perRegime")))
 		return
 	}
 	max, err := intParam(q.Get("max"), 0)
 	if err != nil || max < 0 {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad max %q", q.Get("max")))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad max %q", q.Get("max")))
 		return
 	}
 	format := q.Get("format")
@@ -93,7 +99,7 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 		format = "json"
 	}
 	if format != "json" && format != "svg" {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad format %q (want json or svg)", format))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad format %q (want json or svg)", format))
 		return
 	}
 
@@ -105,7 +111,7 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status, code := runErrorStatus(err)
 		release(status < http.StatusInternalServerError)
-		writeError(w, status, code, err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	release(true)
@@ -119,7 +125,7 @@ func (s *Server) handleAtlas(w http.ResponseWriter, r *http.Request) {
 	default:
 		b, err := atlas.JSON()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, codeInternal, err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")

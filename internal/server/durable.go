@@ -368,13 +368,13 @@ func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if e.dataDir == "" {
-		writeError(w, http.StatusBadRequest, codeBadRequest,
+		s.writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Errorf("session %s is not durable (server started without -data)", e.id))
 		return
 	}
 	ids, err := sess.DurableRuns()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, codeInternal, err)
+		s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 		return
 	}
 	out := make([]runInfo, 0, len(ids))
@@ -409,7 +409,7 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 	}
 	info, ok := s.runInfoFor(e, sess, rid)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no run %q in session %s", rid, e.id))
+		s.writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no run %q in session %s", rid, e.id))
 		return
 	}
 	writeJSON(w, http.StatusOK, info)

@@ -103,7 +103,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"In-flight guarded work admitted by the overload limiters, by class (run, build).",
 			"class"),
 		shed: reg.CounterVec("rqp_shed_total",
-			"Requests shed by overload control, by class (run, build) and reason (limiter, bulkhead, breaker).",
+			"Requests shed by overload control, by class (run, build) and reason (limiter, bulkhead, breaker, brownout).",
 			"class", "reason"),
 	}
 	reg.GaugeFunc("rqp_sessions", "Live sessions in the registry.",
@@ -113,6 +113,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 	reg.GaugeFunc("rqp_breaker_state",
 		"Session-build circuit breaker state: 0 closed, 1 open, 2 half-open.",
 		func() float64 { return float64(s.breaker.State()) })
+	reg.GaugeFunc("rqp_brownout_stage",
+		"Staged brownout level: 0 normal, 1 no hedges/sampling, 2 shed expensive reads, 3 shed builds, 4 full shed.",
+		func() float64 { return float64(s.Stage()) })
 	// Process resource gauges, sampled at scrape time: the in-band signal
 	// the overload story (AIMD limiters, sheds) can be correlated against.
 	reg.GaugeFunc("rqp_goroutines", "Live goroutines, sampled at scrape time.",

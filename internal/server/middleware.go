@@ -7,7 +7,10 @@ import (
 	"log"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
+
+	"repro/internal/guard"
 )
 
 // maxBodyBytes bounds request bodies; every payload the API accepts is a
@@ -18,7 +21,7 @@ const maxBodyBytes = 1 << 20
 // instead of killing the connection (and, under http.Serve semantics, the
 // goroutine with a stack dump only). The stack is logged server-side; the
 // client sees a stable error shape.
-func recoverMiddleware(next http.Handler) http.Handler {
+func (s *Server) recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
@@ -28,7 +31,7 @@ func recoverMiddleware(next http.Handler) http.Handler {
 					panic(rec)
 				}
 				log.Printf("server: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
-				writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("internal error: %v", rec))
+				s.writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("internal error: %v", rec))
 			}
 		}()
 		next.ServeHTTP(w, r)
@@ -89,21 +92,45 @@ type apiError struct {
 // and win: the eviction cadence behind a 429, the breaker's REMAINING
 // cooldown behind a circuit-open 503, and a fleet proxy relaying a
 // downstream shed forwards the downstream's value verbatim (the proxy
-// copies response headers and never re-enters this function), so the
-// generic 1-second fallback only covers sites with no better estimate.
-// The trace ID is read back
-// from the X-Request-ID header the trace middleware stamps eagerly, which
+// copies response headers and never re-enters this function). Sites with no
+// better estimate fall back to a value DERIVED from guard state — the
+// breaker's remaining cooldown when the circuit is open, one second
+// otherwise (limiter sheds clear in sub-second time) — rather than a
+// hardcoded constant. Every value this function sets is jittered
+// deterministically per request (guard.JitterRetryAfter seeded by the
+// X-Request-ID the trace middleware stamps eagerly), so a burst of clients
+// shed in the same instant de-synchronizes instead of thundering back on
+// the same second. The trace ID is read back from the same header, which
 // spares every call site from threading the request context through.
-func writeError(w http.ResponseWriter, status int, code string, err error) {
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
 	switch status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 		if w.Header().Get("Retry-After") == "" {
-			w.Header().Set("Retry-After", "1")
+			s.setRetryAfter(w, s.retryAfterBase())
 		}
 	}
 	writeJSON(w, status, map[string]apiError{"error": {
 		Code: code, Message: err.Error(), TraceID: w.Header().Get("X-Request-ID"),
 	}})
+}
+
+// retryAfterBase derives the generic Retry-After fallback from guard state:
+// an open build breaker dominates (its remaining cooldown is the soonest
+// the node plausibly accepts expensive work again); otherwise one second —
+// AIMD limiter slots churn at request latency, so "retry shortly" is
+// honest and the per-request jitter supplies the spread.
+func (s *Server) retryAfterBase() int {
+	if ra := s.breaker.RetryAfter(); ra > 0 {
+		return cooldownSeconds(ra)
+	}
+	return 1
+}
+
+// setRetryAfter stamps a jittered Retry-After derived from base seconds,
+// seeded by the request's trace identity for per-request determinism.
+func (s *Server) setRetryAfter(w http.ResponseWriter, base int) {
+	jittered := guard.JitterRetryAfter(w.Header().Get("X-Request-ID"), base)
+	w.Header().Set("Retry-After", strconv.Itoa(jittered))
 }
 
 // runErrorStatus maps a session-layer error to an HTTP status and envelope

@@ -128,6 +128,17 @@ type Config struct {
 	// stays fully observable); negative keeps nothing. Traceparent
 	// propagation and RunResult trace IDs are unaffected by sampling.
 	TraceSample float64
+	// Brownout enables the staged brownout controller (see brownout.go and
+	// internal/guard.Brownout): a periodic loop samples the node's pressure
+	// score and walks the degradation ladder with hysteresis. Off by
+	// default — single-node servers keep the existing binary shed behavior
+	// and stay at stage 0 permanently (rqpd only enables it in fleet mode).
+	Brownout bool
+	// BrownoutInterval is the pressure sampling cadence (default 1s).
+	BrownoutInterval time.Duration
+	// BrownoutConfig tunes the stage thresholds and hysteresis; the zero
+	// value takes guard's defaults.
+	BrownoutConfig guard.BrownoutConfig
 }
 
 // DefaultConfig returns the production guard rails: 30s request budget,
@@ -166,9 +177,25 @@ type Server struct {
 
 	// Overload control (guard package); all nil-safe, so a zero Config
 	// leaves every admission path unconditional.
-	runLimiter   *guard.AIMD    // run/sweep requests, adaptive
-	buildLimiter *guard.AIMD    // accepted session builds, adaptive
-	breaker      *guard.Breaker // session-build circuit breaker
+	runLimiter   *guard.AIMD     // run/sweep requests, adaptive
+	buildLimiter *guard.AIMD     // accepted session builds, adaptive
+	breaker      *guard.Breaker  // session-build circuit breaker
+	brownout     *guard.Brownout // staged degradation (nil = stage 0 forever)
+
+	// Shed-rate bookkeeping feeding the gossiped vitals: every overload
+	// rejection counts into shedTotal, and shedMu guards the windowed
+	// requests/second derivation (see shedRate).
+	shedTotal  atomic.Int64
+	shedMu     sync.Mutex
+	shedLast   int64
+	shedLastAt time.Time
+	shedRateV  float64
+
+	// Fleet hooks, set by the fleet layer before Start* (hookMu guards the
+	// fields, not the calls).
+	hookMu        sync.Mutex
+	fleetPressure func() float64     // fleet-wide pressure aggregate
+	onStage       func(from, to int) // brownout stage-transition observer
 
 	// traces is the bounded store of sampled span trees (runs and session
 	// builds), keyed by trace ID.
@@ -180,6 +207,9 @@ type Server struct {
 	evictQ   chan struct{} // closed to stop the eviction loop
 	evictWG  sync.WaitGroup
 	buildWG  sync.WaitGroup
+
+	brownoutQ  chan struct{} // closed to stop the brownout loop
+	brownoutWG sync.WaitGroup
 }
 
 type session struct {
@@ -239,6 +269,9 @@ func NewWithConfig(cfg Config) *Server {
 	}
 	if cfg.BreakerThreshold > 0 {
 		s.breaker = guard.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	if cfg.Brownout {
+		s.brownout = guard.NewBrownout(cfg.BrownoutConfig)
 	}
 	s.metrics = newServerMetrics(s)
 	return s
@@ -333,7 +366,7 @@ func (s *Server) Handler() http.Handler {
 	// The trace middleware sits outermost so every response — including
 	// panics recovered below it and overload sheds — carries Traceparent
 	// and X-Request-ID headers.
-	return s.traceMiddleware(recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux))))
+	return s.traceMiddleware(s.recoverMiddleware(timeoutMiddleware(s.cfg.RequestTimeout, limitBodyMiddleware(mux))))
 }
 
 // StartEviction launches the background sweep that drops sessions idle for
@@ -421,13 +454,18 @@ func (s *Server) readyCount() int {
 	return n
 }
 
-// Close stops the eviction sweep (if running), cancels every in-flight
-// session build, and waits for both to wind down.
+// Close stops the eviction sweep and brownout loop (if running), cancels
+// every in-flight session build, and waits for all of them to wind down.
 func (s *Server) Close() {
 	if s.evictQ != nil {
 		close(s.evictQ)
 		s.evictWG.Wait()
 		s.evictQ = nil
+	}
+	if s.brownoutQ != nil {
+		close(s.brownoutQ)
+		s.brownoutWG.Wait()
+		s.brownoutQ = nil
 	}
 	s.mu.Lock()
 	for _, e := range s.sessions {
@@ -493,14 +531,20 @@ type sessionInfo struct {
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	// Brownout stage 3 sheds builds — the most expensive admission — while
+	// runs against already-built sessions keep serving.
+	if s.Stage() >= 3 {
+		s.shedBrownout(w, "build")
+		return
+	}
 	var req createRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
 		return
 	}
 	sp, ok := workload.ByName(req.Query)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown query %q", req.Query))
+		s.writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("unknown query %q", req.Query))
 		return
 	}
 	// A fleet front door pins the session ID it hashed the placement from;
@@ -508,7 +552,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	pinned := r.Header.Get(FleetSessionHeader)
 	if pinned != "" {
 		if err := validSessionID(pinned); err != nil {
-			writeError(w, http.StatusBadRequest, codeBadRequest, err)
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, err)
 			return
 		}
 	}
@@ -519,13 +563,13 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 	case "commercial":
 		opts.Params = repro.CommercialProfile()
 	default:
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("unknown profile %q", req.Profile))
 		return
 	}
 	res := sp.GridRes
 	if req.GridRes != 0 {
 		if req.GridRes < 2 || req.GridRes > 64 {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("gridRes %d outside [2,64]", req.GridRes))
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("gridRes %d outside [2,64]", req.GridRes))
 			return
 		}
 		opts.GridRes = req.GridRes
@@ -537,9 +581,10 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if full {
 			// Retry-After tells well-behaved clients when capacity plausibly
-			// frees up: the next eviction sweep (see README, API errors).
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-			writeError(w, http.StatusTooManyRequests, codeTooManySessions, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
+			// frees up: the next eviction sweep (see README, API errors),
+			// jittered per request so a synchronized burst fans back out.
+			s.setRetryAfter(w, s.retryAfterSeconds())
+			s.writeError(w, http.StatusTooManyRequests, codeTooManySessions, fmt.Errorf("session limit %d reached; retry after idle sessions expire", s.cfg.MaxSessions))
 			return
 		}
 	}
@@ -557,10 +602,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		// telling clients to stay away for 30 wastes most of a recovery
 		// window. RetryAfter is zero only in the Allow/RetryAfter race where
 		// the cooldown expired between the two calls — the floor keeps the
-		// header honest (retry immediately-ish).
-		w.Header().Set("Retry-After", strconv.Itoa(cooldownSeconds(s.breaker.RetryAfter())))
-		s.metrics.shed.With("build", "breaker").Inc()
-		writeError(w, http.StatusServiceUnavailable, codeOverloaded,
+		// header honest (retry immediately-ish). Jittered per request so the
+		// herd waiting out the cooldown doesn't return as one.
+		s.setRetryAfter(w, cooldownSeconds(s.breaker.RetryAfter()))
+		s.countShed("build", "breaker")
+		s.writeError(w, http.StatusServiceUnavailable, codeOverloaded,
 			fmt.Errorf("session builds are failing; circuit open, retry after cooldown"))
 		return
 	}
@@ -592,7 +638,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			// The build dependency was never exercised: release the breaker
 			// admission without recording an outcome.
 			s.breaker.Forget()
-			writeError(w, http.StatusConflict, codeBadRequest, fmt.Errorf("session %q already exists", pinned))
+			s.writeError(w, http.StatusConflict, codeBadRequest, fmt.Errorf("session %q already exists", pinned))
 			return
 		}
 		e.id = pinned
@@ -627,12 +673,12 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 					// The build dependency was never exercised: release the
 					// breaker admission without recording an outcome.
 					s.breaker.Forget()
-					writeError(w, http.StatusConflict, codeBadRequest,
+					s.writeError(w, http.StatusConflict, codeBadRequest,
 						fmt.Errorf("session %q already exists in the shared data directory", pinned))
 					return
 				}
 				s.breaker.Record(false)
-				writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("claim session directory: %v", err))
+				s.writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("claim session directory: %v", err))
 				return
 			}
 		}
@@ -644,7 +690,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			s.buildLimiter.Cancel()
 			s.metrics.setInflight("build", s.buildLimiter.Inflight())
 			s.breaker.Record(false)
-			writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("persist session metadata: %v", err))
+			s.writeError(w, http.StatusInternalServerError, codeInternal, fmt.Errorf("persist session metadata: %v", err))
 			return
 		}
 	}
@@ -703,8 +749,8 @@ func cooldownSeconds(d time.Duration) int {
 // rqp_shed_total and answers 429 with the envelope's overloaded code
 // (writeError supplies the Retry-After header).
 func (s *Server) shed(w http.ResponseWriter, class, reason string, err error) {
-	s.metrics.shed.With(class, reason).Inc()
-	writeError(w, http.StatusTooManyRequests, codeOverloaded, err)
+	s.countShed(class, reason)
+	s.writeError(w, http.StatusTooManyRequests, codeOverloaded, err)
 }
 
 // admitRun passes a run/sweep request through the shared adaptive limiter and
@@ -767,7 +813,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*session, bool)
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no session %q", id))
+		s.writeError(w, http.StatusNotFound, codeNotFound, fmt.Errorf("no session %q", id))
 		return nil, false
 	}
 	return e, true
@@ -783,10 +829,10 @@ func (s *Server) ready(w http.ResponseWriter, e *session) (*repro.Session, bool)
 	case statusReady:
 		return sess, true
 	case statusFailed:
-		writeError(w, http.StatusConflict, codeSessionFailed,
+		s.writeError(w, http.StatusConflict, codeSessionFailed,
 			fmt.Errorf("session %s build failed: %v", e.id, buildErr))
 	default:
-		writeError(w, http.StatusConflict, codeSessionBuilding,
+		s.writeError(w, http.StatusConflict, codeSessionBuilding,
 			fmt.Errorf("session %s is still building (%d/%d cells); retry when status is %q",
 				e.id, e.cellsDone.Load(), e.cellsTotal.Load(), statusReady))
 	}
@@ -884,7 +930,7 @@ func (s *Server) resolveStrategy(w http.ResponseWriter, strategy, algorithm stri
 	}
 	canonical, legacy, err := repro.ParseStrategyName(name)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, codeUnknownStrategy, err)
+		s.writeError(w, http.StatusBadRequest, codeUnknownStrategy, err)
 		return "", false
 	}
 	if legacy {
@@ -894,6 +940,11 @@ func (s *Server) resolveStrategy(w http.ResponseWriter, strategy, algorithm stri
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	// Brownout stage 4 is the full shed: runs were the last admitted class.
+	if s.Stage() >= 4 {
+		s.shedBrownout(w, "run")
+		return
+	}
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -904,7 +955,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	var req runRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
+		s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad payload: %w", err))
 		return
 	}
 	algo, ok := s.resolveStrategy(w, req.Strategy, req.Algorithm)
@@ -919,7 +970,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		sc, ok := repro.ScenarioByName(seed, req.Scenario)
 		if !ok {
-			writeError(w, http.StatusBadRequest, codeBadRequest,
+			s.writeError(w, http.StatusBadRequest, codeBadRequest,
 				fmt.Errorf("unknown scenario %q (want <regime>-<n>, e.g. %q)", req.Scenario, "adversarial-1"))
 			return
 		}
@@ -928,7 +979,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	runID := ""
 	if req.Durable {
 		if e.dataDir == "" {
-			writeError(w, http.StatusBadRequest, codeBadRequest,
+			s.writeError(w, http.StatusBadRequest, codeBadRequest,
 				fmt.Errorf("durable runs need a server data directory (rqpd -data)"))
 			return
 		}
@@ -962,7 +1013,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		// Only overload-shaped outcomes (timeouts, cancellations → 5xx) shrink
 		// the adaptive limit; a validation 400 says nothing about capacity.
 		release(status < http.StatusInternalServerError)
-		writeError(w, status, code, err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	release(true)
@@ -1019,6 +1070,12 @@ type sweepResponse struct {
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// Brownout stage 2 sheds the expensive read surface: a sweep is
+	// Locations-many runs in one request.
+	if s.Stage() >= 2 {
+		s.shedBrownout(w, "run")
+		return
+	}
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -1036,7 +1093,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("max"); v != "" {
 		max, err = strconv.Atoi(v)
 		if err != nil || max < 0 {
-			writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad max %q", v))
+			s.writeError(w, http.StatusBadRequest, codeBadRequest, fmt.Errorf("bad max %q", v))
 			return
 		}
 	}
@@ -1052,7 +1109,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			status, code = http.StatusInternalServerError, codeInternal
 		}
 		release(status < http.StatusInternalServerError)
-		writeError(w, status, code, err)
+		s.writeError(w, status, code, err)
 		return
 	}
 	release(true)

@@ -435,7 +435,7 @@ func TestBadPayloadsYield4xx(t *testing.T) {
 // a structured JSON 500 carrying the error envelope instead of tearing the
 // connection down.
 func TestPanicRecoveryMiddleware(t *testing.T) {
-	h := recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	h := New().recoverMiddleware(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("operator bug")
 	}))
 	rec := httptest.NewRecorder()

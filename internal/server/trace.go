@@ -76,15 +76,26 @@ func (s *Server) sampleRate() float64 {
 	return s.cfg.TraceSample
 }
 
-// keepTrace decides retention for a trace, deterministically from its ID.
+// keepTrace decides retention for a trace, deterministically from its ID —
+// except under brownout (stage ≥ 1), where sampling drops to zero: trace
+// retention is the first optional work to go when the node is degrading.
 func (s *Server) keepTrace(traceID string) bool {
+	if s.Stage() >= 1 {
+		return false
+	}
 	return trace.Sample(traceID, s.sampleRate())
 }
 
 // recordTrace derives nothing — it stores an already-derived tree, counts
-// its spans, and is a no-op for unsampled traces.
+// its spans, and is a no-op for unsampled traces. The fleet membership
+// timeline is exempt from sampling and the brownout drop: it is one
+// bounded singleton tree, not per-request volume, and it is exactly the
+// trace that explains a brownout episode after the fact.
 func (s *Server) recordTrace(t *trace.Tree) {
-	if t == nil || !s.keepTrace(t.TraceID) {
+	if t == nil {
+		return
+	}
+	if t.Kind != trace.KindFleet && !s.keepTrace(t.TraceID) {
 		return
 	}
 	s.traces.put(t)
@@ -118,7 +129,7 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	t, ok := s.traces.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, codeNotFound,
+		s.writeError(w, http.StatusNotFound, codeNotFound,
 			fmt.Errorf("no trace %q (not sampled, evicted, or never recorded)", id))
 		return
 	}
@@ -126,7 +137,7 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 	case "", "json":
 		b, err := t.JSON()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, codeInternal, err)
+			s.writeError(w, http.StatusInternalServerError, codeInternal, err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -135,7 +146,7 @@ func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "image/svg+xml")
 		_, _ = io.WriteString(w, viz.Flamegraph(t))
 	default:
-		writeError(w, http.StatusBadRequest, codeBadRequest,
+		s.writeError(w, http.StatusBadRequest, codeBadRequest,
 			fmt.Errorf("unknown trace format %q (want json or svg)", format))
 	}
 }

@@ -1,8 +1,9 @@
 // Package smoke is the shared toolkit of the end-to-end daemon drills
-// (cmd/metricssmoke, cmd/overloadsmoke, cmd/replay): build and boot rqpd,
-// poll with a deadline, drive the /v1 session lifecycle, and scrape the
-// Prometheus exposition. Every helper is a plain function returning errors —
-// the drills decide what is fatal.
+// (cmd/metricssmoke, cmd/overloadsmoke, cmd/tracesmoke, cmd/fleetsmoke,
+// cmd/brownoutsmoke, cmd/replay): build and boot rqpd, poll with a deadline,
+// drive the /v1 session lifecycle, scrape the Prometheus exposition, and
+// check goroutine hygiene after load. Every helper is a plain function
+// returning errors — the drills decide what is fatal.
 package smoke
 
 import (
@@ -293,6 +294,24 @@ func ScrapeOpenMetrics(base string) (map[string]*telemetry.ParsedFamily, error) 
 		return nil, fmt.Errorf("openmetrics exposition does not parse: %w", err)
 	}
 	return fams, nil
+}
+
+// AwaitGoroutineSettle polls /v1/debug/stats until the daemon's goroutine
+// count drops back to within slack of the pre-drill baseline, returning the
+// last observed count either way. Every drill that stresses the daemon ends
+// with this check: handlers that survive their request are leaks, and a leak
+// under a one-shot drill is a flood under production load.
+func AwaitGoroutineSettle(base string, baseline, slack int, timeout time.Duration) (int, error) {
+	final := -1
+	err := Poll("goroutines back to baseline", timeout, 100*time.Millisecond, func() (bool, error) {
+		n, err := Goroutines(base)
+		if err != nil {
+			return false, err
+		}
+		final = n
+		return n <= baseline+slack, nil
+	})
+	return final, err
 }
 
 // Goroutines reads the live goroutine count from /v1/debug/stats.

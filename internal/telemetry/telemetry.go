@@ -90,6 +90,11 @@ const (
 	// at. Injected into the resumed run's stream (and the fleet membership
 	// stream) so failovers show up as zero-width markers in flamegraphs.
 	Failover Kind = "failover"
+	// BrownoutStage records a staged-brownout transition on a node: Contour
+	// carries the new stage, Dim the previous one, Detail the node address.
+	// Recorded into the fleet membership stream so brownout episodes render
+	// as zero-width markers on the same timeline as peer transitions.
+	BrownoutStage Kind = "brownout_stage"
 )
 
 // Event is one typed run-time occurrence. One struct covers every kind;

@@ -55,6 +55,9 @@ const (
 	// clock is the transition ordinal rather than the cost ledger.
 	KindPeer  = "peer_state"
 	KindFleet = "fleet"
+	// KindBrownout is the zero-width marker for a staged-brownout stage
+	// transition on a node (see internal/guard.Brownout).
+	KindBrownout = "brownout_stage"
 )
 
 // Span is one node of a trace tree. Start and End are in the tree's work
@@ -323,7 +326,7 @@ func FromBuild(traceID string, events []telemetry.Event) *Tree {
 func FromFleet(traceID string, events []telemetry.Event) *Tree {
 	root := &Span{Kind: KindFleet, Name: "fleet", Attrs: map[string]string{}}
 	clock := 0.0
-	transitions, failovers := 0, 0
+	transitions, failovers, brownouts := 0, 0, 0
 	for _, ev := range events {
 		switch ev.Kind {
 		case telemetry.PeerDown, telemetry.PeerUp:
@@ -345,11 +348,28 @@ func FromFleet(traceID string, events []telemetry.Event) *Tree {
 				Start: clock, End: clock, Attrs: attrs,
 			})
 			clock++
+		case telemetry.BrownoutStage:
+			brownouts++
+			attrs := map[string]string{
+				"stage": strconv.Itoa(ev.Contour),
+				"from":  strconv.Itoa(ev.Dim),
+			}
+			if ev.Detail != "" {
+				attrs["node"] = ev.Detail
+			}
+			root.Children = append(root.Children, &Span{
+				Kind: KindBrownout, Name: "brownout_stage:" + strconv.Itoa(ev.Contour),
+				Start: clock, End: clock, Attrs: attrs,
+			})
+			clock++
 		}
 	}
 	root.End = clock
 	root.Attrs["transitions"] = strconv.Itoa(transitions)
 	root.Attrs["failovers"] = strconv.Itoa(failovers)
+	if brownouts > 0 {
+		root.Attrs["brownouts"] = strconv.Itoa(brownouts)
+	}
 	t := &Tree{TraceID: traceID, Kind: KindFleet, Root: root}
 	seal(t)
 	return t
